@@ -1,0 +1,155 @@
+//! The activity vocabulary subset used by the toolkit.
+
+use serde::{Deserialize, Serialize};
+
+/// A `Note` object (a toot on the wire).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Note {
+    /// Object id URL.
+    pub id: String,
+    /// Author actor URL.
+    #[serde(rename = "attributedTo")]
+    pub attributed_to: String,
+    /// Content (the toolkit carries only opaque placeholders — the study
+    /// deliberately avoids toot text analysis for ethics reasons).
+    pub content: String,
+}
+
+/// The activities the simulated federation exchanges.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[serde(tag = "type")]
+pub enum Activity {
+    /// `actor` asks to follow `object` (an actor URL).
+    Follow {
+        /// Activity id URL.
+        id: String,
+        /// Follower actor URL.
+        actor: String,
+        /// Followee actor URL.
+        object: String,
+    },
+    /// Acceptance of a `Follow` (sent back by the followee's instance).
+    Accept {
+        /// Activity id URL.
+        id: String,
+        /// Accepting actor URL (the followee).
+        actor: String,
+        /// The id of the `Follow` being accepted.
+        object: String,
+    },
+    /// Publication of a new `Note` (a toot).
+    Create {
+        /// Activity id URL.
+        id: String,
+        /// Author actor URL.
+        actor: String,
+        /// The note.
+        object: Note,
+    },
+    /// A boost: re-sharing an existing note by reference.
+    Announce {
+        /// Activity id URL.
+        id: String,
+        /// Boosting actor URL.
+        actor: String,
+        /// The boosted note's id URL.
+        object: String,
+    },
+}
+
+impl Activity {
+    /// The activity's own id.
+    pub fn id(&self) -> &str {
+        match self {
+            Activity::Follow { id, .. }
+            | Activity::Accept { id, .. }
+            | Activity::Create { id, .. }
+            | Activity::Announce { id, .. } => id,
+        }
+    }
+
+    /// The performing actor.
+    pub fn actor(&self) -> &str {
+        match self {
+            Activity::Follow { actor, .. }
+            | Activity::Accept { actor, .. }
+            | Activity::Create { actor, .. }
+            | Activity::Announce { actor, .. } => actor,
+        }
+    }
+
+    /// Serialise with the JSON-LD context attached.
+    pub fn to_json(&self) -> serde_json::Value {
+        let mut v = serde_json::to_value(self).expect("activity serialises");
+        v.as_object_mut()
+            .expect("object")
+            .insert("@context".into(), crate::actor::AS_CONTEXT.into());
+        v
+    }
+
+    /// Parse from a JSON value (ignores any `@context`).
+    pub fn from_json(v: &serde_json::Value) -> Result<Activity, serde_json::Error> {
+        serde_json::from_value(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn follow() -> Activity {
+        Activity::Follow {
+            id: "https://a.test/act/1".into(),
+            actor: "https://a.test/users/u1".into(),
+            object: "https://b.test/users/u9".into(),
+        }
+    }
+
+    #[test]
+    fn tagged_serialisation() {
+        let json = serde_json::to_string(&follow()).unwrap();
+        assert!(json.contains("\"type\":\"Follow\""));
+    }
+
+    #[test]
+    fn json_ld_context_attached() {
+        let v = follow().to_json();
+        assert_eq!(
+            v.get("@context").and_then(|c| c.as_str()),
+            Some(crate::actor::AS_CONTEXT)
+        );
+        // and can still be parsed back
+        let back = Activity::from_json(&v).unwrap();
+        assert_eq!(back, follow());
+    }
+
+    #[test]
+    fn create_round_trip() {
+        let act = Activity::Create {
+            id: "https://a.test/act/2".into(),
+            actor: "https://a.test/users/u1".into(),
+            object: Note {
+                id: "https://a.test/notes/77".into(),
+                attributed_to: "https://a.test/users/u1".into(),
+                content: "<p>toot</p>".into(),
+            },
+        };
+        let v = act.to_json();
+        assert_eq!(v.get("type").and_then(|t| t.as_str()), Some("Create"));
+        assert_eq!(Activity::from_json(&v).unwrap(), act);
+    }
+
+    #[test]
+    fn accessors() {
+        let a = follow();
+        assert_eq!(a.id(), "https://a.test/act/1");
+        assert_eq!(a.actor(), "https://a.test/users/u1");
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        let v: serde_json::Value =
+            serde_json::from_str(r#"{"type":"Dance","id":"x","actor":"y"}"#).unwrap();
+        assert!(Activity::from_json(&v).is_err());
+    }
+}

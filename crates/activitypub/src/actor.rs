@@ -1,0 +1,123 @@
+//! ActivityPub actor documents.
+
+use serde::{Deserialize, Serialize};
+
+/// The JSON-LD context every document carries.
+pub const AS_CONTEXT: &str = "https://www.w3.org/ns/activitystreams";
+
+/// An ActivityPub actor (a user account as seen by remote instances).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Actor {
+    /// JSON-LD context.
+    #[serde(rename = "@context")]
+    pub context: String,
+    /// Canonical actor id URL (`https://<domain>/users/<handle>`).
+    pub id: String,
+    /// Actor type; Mastodon uses `Person`.
+    #[serde(rename = "type")]
+    pub kind: String,
+    /// Preferred username (the local handle).
+    #[serde(rename = "preferredUsername")]
+    pub preferred_username: String,
+    /// Inbox URL (where remote instances POST activities).
+    pub inbox: String,
+    /// Outbox URL.
+    pub outbox: String,
+    /// Followers collection URL (the page the study's scraper walks).
+    pub followers: String,
+}
+
+impl Actor {
+    /// Build the canonical actor document for `handle@domain`.
+    pub fn person(handle: &str, domain: &str) -> Actor {
+        let id = actor_id(handle, domain);
+        Actor {
+            context: AS_CONTEXT.to_string(),
+            kind: "Person".to_string(),
+            preferred_username: handle.to_string(),
+            inbox: format!("{id}/inbox"),
+            outbox: format!("{id}/outbox"),
+            followers: format!("{id}/followers"),
+            id,
+        }
+    }
+
+    /// The `user@domain` address of this actor, derived from its id.
+    pub fn address(&self) -> Option<String> {
+        let rest = self.id.strip_prefix("https://")?;
+        let (domain, path) = rest.split_once('/')?;
+        let handle = path.strip_prefix("users/")?;
+        Some(format!("{handle}@{domain}"))
+    }
+}
+
+/// Canonical actor id URL.
+pub fn actor_id(handle: &str, domain: &str) -> String {
+    format!("https://{domain}/users/{handle}")
+}
+
+/// Parse an actor id URL back into `(handle, domain)`.
+pub fn parse_actor_id(id: &str) -> Option<(String, String)> {
+    let rest = id.strip_prefix("https://")?;
+    let (domain, path) = rest.split_once('/')?;
+    let handle = path.strip_prefix("users/")?;
+    // tolerate trailing path components (inbox, followers, …)
+    let handle = handle.split('/').next()?;
+    if handle.is_empty() || domain.is_empty() {
+        return None;
+    }
+    Some((handle.to_string(), domain.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_document_shape() {
+        let a = Actor::person("alice", "mstdn.jp");
+        assert_eq!(a.id, "https://mstdn.jp/users/alice");
+        assert_eq!(a.inbox, "https://mstdn.jp/users/alice/inbox");
+        assert_eq!(a.followers, "https://mstdn.jp/users/alice/followers");
+        assert_eq!(a.kind, "Person");
+        assert_eq!(a.context, AS_CONTEXT);
+    }
+
+    #[test]
+    fn serde_uses_ld_names() {
+        let a = Actor::person("bob", "x.test");
+        let json = serde_json::to_string(&a).unwrap();
+        assert!(json.contains("\"@context\""));
+        assert!(json.contains("\"type\":\"Person\""));
+        assert!(json.contains("\"preferredUsername\":\"bob\""));
+        let back: Actor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, a);
+    }
+
+    #[test]
+    fn actor_id_round_trip() {
+        let id = actor_id("carol", "pawoo.net");
+        assert_eq!(
+            parse_actor_id(&id),
+            Some(("carol".to_string(), "pawoo.net".to_string()))
+        );
+        assert_eq!(
+            parse_actor_id("https://pawoo.net/users/carol/inbox"),
+            Some(("carol".to_string(), "pawoo.net".to_string()))
+        );
+    }
+
+    #[test]
+    fn parse_rejects_junk() {
+        assert_eq!(parse_actor_id("http://insecure/users/x"), None);
+        assert_eq!(parse_actor_id("https://domain-only"), None);
+        assert_eq!(parse_actor_id("https://d/notusers/x"), None);
+        assert_eq!(parse_actor_id("https://d/users/"), None);
+    }
+
+    #[test]
+    fn address_derivation() {
+        let a = Actor::person("dave", "m0001.fedi.test");
+        assert_eq!(a.address(), Some("dave@m0001.fedi.test".to_string()));
+    }
+}

@@ -1,0 +1,157 @@
+//! Instance-level federated-subscription bookkeeping.
+//!
+//! §2 of the paper: "each Mastodon instance maintains a list of all remote
+//! accounts its users follow; this results in the instance subscribing to
+//! posts performed on the remote instance, such that they can be pulled and
+//! presented to local users." The table is reference-counted: the
+//! instance-to-instance subscription disappears only when the *last* local
+//! follow of that remote instance is removed.
+
+use std::collections::HashMap;
+
+/// Reference-counted subscriptions of one local instance to remote ones.
+///
+/// Keys are opaque instance identifiers chosen by the caller (domain strings
+/// in the simulator, dense ids in the analyses).
+#[derive(Debug, Clone, Default)]
+pub struct SubscriptionTable {
+    /// remote instance → number of local (follower, remote followee) pairs.
+    counts: HashMap<u32, u32>,
+}
+
+impl SubscriptionTable {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record that a local user followed an account on `remote`.
+    /// Returns `true` if this created a *new* instance-level subscription.
+    pub fn follow(&mut self, remote: u32) -> bool {
+        let c = self.counts.entry(remote).or_insert(0);
+        *c += 1;
+        *c == 1
+    }
+
+    /// Record an unfollow. Returns `true` if the instance-level subscription
+    /// was torn down (refcount hit zero). Unfollowing a never-followed
+    /// remote is a no-op returning `false`.
+    pub fn unfollow(&mut self, remote: u32) -> bool {
+        match self.counts.get_mut(&remote) {
+            None => false,
+            Some(c) => {
+                *c -= 1;
+                if *c == 0 {
+                    self.counts.remove(&remote);
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Is the instance currently subscribed to `remote`?
+    pub fn subscribed(&self, remote: u32) -> bool {
+        self.counts.contains_key(&remote)
+    }
+
+    /// Number of remote instances subscribed to (the "federated
+    /// subscriptions" count the instance API reports).
+    pub fn subscription_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total local follow edges to `remote`.
+    pub fn follower_pairs(&self, remote: u32) -> u32 {
+        self.counts.get(&remote).copied().unwrap_or(0)
+    }
+
+    /// Iterate over subscribed remote instances (unordered).
+    pub fn remotes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.counts.keys().copied()
+    }
+
+    /// Sorted remotes (deterministic output).
+    pub fn remotes_sorted(&self) -> Vec<u32> {
+        let mut v: Vec<u32> = self.counts.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_follow_creates_subscription() {
+        let mut t = SubscriptionTable::new();
+        assert!(t.follow(7));
+        assert!(!t.follow(7)); // refcount only
+        assert!(t.subscribed(7));
+        assert_eq!(t.subscription_count(), 1);
+        assert_eq!(t.follower_pairs(7), 2);
+    }
+
+    #[test]
+    fn last_unfollow_tears_down() {
+        let mut t = SubscriptionTable::new();
+        t.follow(3);
+        t.follow(3);
+        assert!(!t.unfollow(3));
+        assert!(t.subscribed(3));
+        assert!(t.unfollow(3));
+        assert!(!t.subscribed(3));
+        assert_eq!(t.subscription_count(), 0);
+    }
+
+    #[test]
+    fn unfollow_unknown_is_noop() {
+        let mut t = SubscriptionTable::new();
+        assert!(!t.unfollow(99));
+    }
+
+    #[test]
+    fn remotes_sorted_deterministic() {
+        let mut t = SubscriptionTable::new();
+        for r in [5u32, 1, 9, 1] {
+            t.follow(r);
+        }
+        assert_eq!(t.remotes_sorted(), vec![1, 5, 9]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The table is exactly a multiset: subscribed iff net count > 0.
+        #[test]
+        fn refcount_invariant(ops in proptest::collection::vec((0u32..8, any::<bool>()), 0..200)) {
+            let mut t = SubscriptionTable::new();
+            let mut reference: std::collections::HashMap<u32, i64> = Default::default();
+            for (remote, is_follow) in ops {
+                if is_follow {
+                    t.follow(remote);
+                    *reference.entry(remote).or_insert(0) += 1;
+                } else {
+                    let had = reference.get(&remote).copied().unwrap_or(0) > 0;
+                    let torn = t.unfollow(remote);
+                    if had {
+                        *reference.get_mut(&remote).unwrap() -= 1;
+                        prop_assert_eq!(torn, reference[&remote] == 0);
+                    } else {
+                        prop_assert!(!torn);
+                    }
+                }
+            }
+            for (remote, count) in &reference {
+                prop_assert_eq!(t.subscribed(*remote), *count > 0);
+                prop_assert_eq!(t.follower_pairs(*remote) as i64, (*count).max(0));
+            }
+        }
+    }
+}

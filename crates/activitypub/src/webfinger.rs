@@ -1,0 +1,112 @@
+//! WebFinger (RFC 7033) `acct:` resolution — how an instance turns
+//! `user@remote.domain` into an actor URL before federating.
+
+use serde::{Deserialize, Serialize};
+
+/// A WebFinger JRD link.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WebFingerLink {
+    /// Relation type; actor documents use `self`.
+    pub rel: String,
+    /// Media type of the target.
+    #[serde(rename = "type", skip_serializing_if = "Option::is_none")]
+    pub media_type: Option<String>,
+    /// Target URL.
+    pub href: String,
+}
+
+/// A WebFinger JRD document.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WebFingerDoc {
+    /// The queried subject, `acct:user@domain`.
+    pub subject: String,
+    /// Resolution links.
+    pub links: Vec<WebFingerLink>,
+}
+
+impl WebFingerDoc {
+    /// The canonical document for `handle@domain`.
+    pub fn for_account(handle: &str, domain: &str) -> WebFingerDoc {
+        WebFingerDoc {
+            subject: format!("acct:{handle}@{domain}"),
+            links: vec![WebFingerLink {
+                rel: "self".to_string(),
+                media_type: Some("application/activity+json".to_string()),
+                href: crate::actor::actor_id(handle, domain),
+            }],
+        }
+    }
+
+    /// The actor URL advertised by this document.
+    pub fn actor_url(&self) -> Option<&str> {
+        self.links
+            .iter()
+            .find(|l| l.rel == "self")
+            .map(|l| l.href.as_str())
+    }
+
+    /// Parse the subject back into `(handle, domain)`.
+    pub fn account(&self) -> Option<(String, String)> {
+        let acct = self.subject.strip_prefix("acct:")?;
+        let (h, d) = acct.split_once('@')?;
+        if h.is_empty() || d.is_empty() {
+            return None;
+        }
+        Some((h.to_string(), d.to_string()))
+    }
+}
+
+/// Parse a `resource=acct:user@domain` query value.
+pub fn parse_resource(resource: &str) -> Option<(String, String)> {
+    let acct = resource.strip_prefix("acct:")?;
+    let (h, d) = acct.split_once('@')?;
+    if h.is_empty() || d.is_empty() {
+        return None;
+    }
+    Some((h.to_string(), d.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_for_account() {
+        let doc = WebFingerDoc::for_account("alice", "mstdn.jp");
+        assert_eq!(doc.subject, "acct:alice@mstdn.jp");
+        assert_eq!(doc.actor_url(), Some("https://mstdn.jp/users/alice"));
+        assert_eq!(
+            doc.account(),
+            Some(("alice".to_string(), "mstdn.jp".to_string()))
+        );
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let doc = WebFingerDoc::for_account("bob", "x.test");
+        let json = serde_json::to_string(&doc).unwrap();
+        assert!(json.contains("acct:bob@x.test"));
+        let back: WebFingerDoc = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, doc);
+    }
+
+    #[test]
+    fn parse_resource_values() {
+        assert_eq!(
+            parse_resource("acct:u7@m0001.fedi.test"),
+            Some(("u7".to_string(), "m0001.fedi.test".to_string()))
+        );
+        assert_eq!(parse_resource("acct:nodomain"), None);
+        assert_eq!(parse_resource("https://not-acct"), None);
+        assert_eq!(parse_resource("acct:@d"), None);
+    }
+
+    #[test]
+    fn missing_self_link() {
+        let doc = WebFingerDoc {
+            subject: "acct:a@b".into(),
+            links: vec![],
+        };
+        assert_eq!(doc.actor_url(), None);
+    }
+}

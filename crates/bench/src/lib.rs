@@ -1,0 +1,29 @@
+//! # fediscope-bench
+//!
+//! The benchmark harness: the [`repro`](../repro/index.html) binary prints
+//! every table and figure; the Criterion benches (`benches/figures.rs`,
+//! `benches/ablations.rs`) time each analysis so regressions in the
+//! substrate (graph algorithms, evaluators, generators) are caught.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use fediscope_core::Observatory;
+use fediscope_worldgen::{Generator, WorldConfig};
+
+/// Build the standard bench observatory (seeded, small scale so a full
+/// Criterion run stays in CI-friendly time).
+pub fn bench_observatory(seed: u64) -> Observatory {
+    Observatory::new(Generator::generate_world(WorldConfig::small(seed)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_observatory_builds() {
+        let obs = bench_observatory(1);
+        assert!(!obs.world.instances.is_empty());
+    }
+}

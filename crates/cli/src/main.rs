@@ -1,0 +1,188 @@
+//! `fediscope` — command-line interface to the toolkit.
+//!
+//! ```text
+//! fediscope gen     [--seed N] [--scale tiny|small|paper] [--out world.json]
+//! fediscope serve   [--seed N] [--scale tiny|small] [--ticks N] [--tick-ms N]
+//! fediscope crawl   [--seed N] [--scale tiny|small]
+//! fediscope analyze [--seed N] [--scale tiny|small|paper] [--fast]
+//! ```
+//!
+//! `gen` prints (or writes) the generated world as JSON; `serve` boots the
+//! simulated fediverse on loopback and advances the virtual clock; `crawl`
+//! boots a simulation and runs the full measurement pipeline against it;
+//! `analyze` runs the paper's analyses and verdicts (same as the `repro`
+//! binary, abbreviated).
+
+use fediscope_core::{report, verdicts, Observatory};
+use fediscope_crawler::discovery::SeedList;
+use fediscope_crawler::monitor::InstanceMonitor;
+use fediscope_crawler::politeness::Politeness;
+use fediscope_crawler::toots;
+use fediscope_model::time::Epoch;
+use fediscope_simnet::{launch, FaultPlan};
+use fediscope_worldgen::{Generator, WorldConfig};
+use std::sync::Arc;
+
+struct Opts {
+    seed: u64,
+    scale: String,
+    out: Option<String>,
+    ticks: u32,
+    tick_ms: u64,
+    fast: bool,
+}
+
+fn parse_opts(args: &[String]) -> Opts {
+    let mut o = Opts {
+        seed: 42,
+        scale: "small".into(),
+        out: None,
+        ticks: 200,
+        tick_ms: 10,
+        fast: false,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--seed" => o.seed = it.next().and_then(|v| v.parse().ok()).expect("--seed N"),
+            "--scale" => o.scale = it.next().expect("--scale value").clone(),
+            "--out" => o.out = Some(it.next().expect("--out path").clone()),
+            "--ticks" => o.ticks = it.next().and_then(|v| v.parse().ok()).expect("--ticks N"),
+            "--tick-ms" => {
+                o.tick_ms = it.next().and_then(|v| v.parse().ok()).expect("--tick-ms N")
+            }
+            "--fast" => o.fast = true,
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    o
+}
+
+fn config_for(o: &Opts) -> WorldConfig {
+    match o.scale.as_str() {
+        "tiny" => WorldConfig::tiny(o.seed),
+        "small" => WorldConfig::small(o.seed),
+        "paper" => WorldConfig::paper_scaled(o.seed),
+        other => {
+            eprintln!("unknown scale {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("usage: fediscope <gen|serve|crawl|analyze> [options]");
+        std::process::exit(2);
+    };
+    let opts = parse_opts(rest);
+    match cmd.as_str() {
+        "gen" => cmd_gen(&opts),
+        "serve" => cmd_serve(&opts),
+        "crawl" => cmd_crawl(&opts),
+        "analyze" => cmd_analyze(&opts),
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+fn cmd_gen(o: &Opts) {
+    let world = Generator::generate_world(config_for(o));
+    let json = serde_json::to_string(&world).expect("world serialises");
+    match &o.out {
+        Some(path) => {
+            std::fs::write(path, &json).expect("write world file");
+            eprintln!(
+                "wrote {} instances / {} users to {path}",
+                world.instances.len(),
+                world.users.len()
+            );
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn cmd_serve(o: &Opts) {
+    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+    rt.block_on(async {
+        let world = Arc::new(Generator::generate_world(config_for(o)));
+        let net = launch(world.clone(), FaultPlan::default(), o.seed)
+            .await
+            .expect("simnet boots");
+        println!("fediscope simnet listening on {}", net.addr());
+        println!(
+            "{} instances behind one listener (Host-header routed); \
+             advancing {} virtual epochs at {}ms each",
+            world.instances.len(),
+            o.ticks,
+            o.tick_ms
+        );
+        println!(
+            "try: curl -H 'Host: {}' http://{}/api/v1/instance",
+            world.instances[0].domain,
+            net.addr()
+        );
+        let ticker = net.state.clock.run_ticker(
+            std::time::Duration::from_millis(o.tick_ms),
+            Epoch(o.ticks),
+        );
+        let _ = ticker.await;
+        println!("virtual clock reached epoch {}; shutting down", o.ticks);
+        net.shutdown().await;
+    });
+}
+
+fn cmd_crawl(o: &Opts) {
+    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+    rt.block_on(async {
+        let world = Arc::new(Generator::generate_world(config_for(o)));
+        let net = launch(world.clone(), FaultPlan::default(), o.seed)
+            .await
+            .expect("simnet boots");
+        let seeds = SeedList::for_simnet(&world, net.addr());
+        let politeness = Politeness::fast();
+
+        net.state.clock.set(Epoch(40_000));
+        let mut monitor = InstanceMonitor::new(seeds.clone(), politeness.clone());
+        monitor.poll_all(Epoch(40_000)).await;
+        let up = monitor
+            .dataset()
+            .series
+            .iter()
+            .filter(|s| s.polls.last().is_some_and(|(_, r)| r.is_up()))
+            .count();
+        println!("monitor: {up}/{} instances up at epoch 40000", seeds.len());
+
+        let dataset = toots::crawl_toots(
+            &seeds,
+            &politeness,
+            &fediscope_httpwire::Client::default(),
+        )
+        .await;
+        println!(
+            "toot crawl: {} instances crawled, {} toots, {:.1}% coverage",
+            dataset.crawled_instances(),
+            dataset.total_home_toots(),
+            dataset.coverage(world.total_toots()) * 100.0
+        );
+        net.shutdown().await;
+    });
+}
+
+fn cmd_analyze(o: &Opts) {
+    let world = Generator::generate_world(config_for(o));
+    let obs = Observatory::new(world);
+    let vs = verdicts::evaluate(&obs, o.fast);
+    println!("{}", report::render_verdicts(&vs));
+    let failed = verdicts::failed(&vs);
+    println!("{} checks, {} failed", vs.len(), failed);
+    if failed > 0 {
+        std::process::exit(1);
+    }
+}

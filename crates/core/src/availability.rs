@@ -1,0 +1,212 @@
+//! §4.4 analyses: availability, outages, certificates, AS failures
+//! (Figs. 7–10, Table 1).
+
+use crate::observatory::Observatory;
+use fediscope_model::certs::CertificateAuthority;
+use fediscope_monitor::asn::{as_failure_table, AsFailureRow};
+use fediscope_monitor::certs::{attribute_cert_outages, ca_footprint, CertOutageReport};
+use fediscope_monitor::daily::{daily_downtime, size_downtime_correlation, SizeBin};
+use fediscope_monitor::downtime::{downtime_report, failure_exposure, headlines, DowntimeHeadlines};
+use fediscope_monitor::outages::{outage_durations, worst_day_blackout};
+use fediscope_stats::{BoxStats, Ecdf};
+
+/// Fig. 7: downtime CDF + exposure.
+#[derive(Debug, Clone)]
+pub struct Fig07Downtime {
+    /// CDF of lifetime downtime fractions.
+    pub downtime_cdf: Ecdf,
+    /// Headline §4.4 statistics.
+    pub headlines: DowntimeHeadlines,
+    /// Users unavailable when a failing instance goes down.
+    pub users_exposure: Ecdf,
+    /// Toots unavailable.
+    pub toots_exposure: Ecdf,
+    /// Boosted toots unavailable.
+    pub boosts_exposure: Ecdf,
+}
+
+/// Compute Fig. 7.
+pub fn fig07_downtime(obs: &Observatory) -> Fig07Downtime {
+    let report = downtime_report(&obs.world.schedules);
+    let exposure = failure_exposure(&obs.world.instances, &obs.world.schedules);
+    Fig07Downtime {
+        headlines: headlines(&report),
+        downtime_cdf: report.cdf,
+        users_exposure: exposure.users,
+        toots_exposure: exposure.toots,
+        boosts_exposure: exposure.boosts,
+    }
+}
+
+/// Fig. 8: per-day downtime by size bin vs Twitter.
+#[derive(Debug, Clone)]
+pub struct Fig08DailyDowntime {
+    /// Box stats per size bin (Fig. 8 order).
+    pub bins: Vec<(SizeBin, Option<BoxStats>)>,
+    /// Mean Mastodon per-day downtime (paper: 10.95%).
+    pub mastodon_mean: f64,
+    /// Mean Twitter 2007 per-day downtime (paper: 1.25%).
+    pub twitter_mean: f64,
+    /// Twitter box stats.
+    pub twitter_box: Option<BoxStats>,
+    /// Correlation between toot count and downtime (paper: −0.04).
+    pub size_correlation: Option<f64>,
+}
+
+/// Compute Fig. 8. `day_stride` subsamples days to bound cost.
+pub fn fig08_daily_downtime(obs: &Observatory, day_stride: u32) -> Fig08DailyDowntime {
+    let dd = daily_downtime(&obs.world.instances, &obs.world.schedules, day_stride);
+    let t = &obs.world.twitter.daily_downtime;
+    Fig08DailyDowntime {
+        bins: dd.box_stats(),
+        mastodon_mean: dd.mean(),
+        twitter_mean: t.iter().sum::<f64>() / t.len().max(1) as f64,
+        twitter_box: BoxStats::of(t),
+        size_correlation: size_downtime_correlation(&obs.world.instances, &obs.world.schedules),
+    }
+}
+
+/// Fig. 9: certificates.
+#[derive(Debug, Clone)]
+pub struct Fig09Certificates {
+    /// CA market share (Fig. 9a).
+    pub footprint: Vec<(CertificateAuthority, f64)>,
+    /// Expiry attribution (Fig. 9b).
+    pub outages: CertOutageReport,
+}
+
+/// Compute Fig. 9.
+pub fn fig09_certificates(obs: &Observatory) -> Fig09Certificates {
+    Fig09Certificates {
+        footprint: ca_footprint(&obs.world.instances),
+        outages: attribute_cert_outages(&obs.world.instances, &obs.world.schedules),
+    }
+}
+
+/// Table 1: AS-wide failures. `min_instances` is the membership threshold
+/// (paper: 8; scale it down for small worlds).
+pub fn table1_as_failures(obs: &Observatory, min_instances: usize) -> Vec<AsFailureRow> {
+    as_failure_table(
+        &obs.world.instances,
+        &obs.world.schedules,
+        &obs.world.providers,
+        min_instances,
+    )
+}
+
+/// Fig. 10: continuous outages.
+#[derive(Debug, Clone)]
+pub struct Fig10Outages {
+    /// Duration CDF (days).
+    pub durations: Ecdf,
+    /// Fraction of instances failing at least once (paper: 98%).
+    pub any_outage_frac: f64,
+    /// Fraction with a ≥1-day outage (paper: 25%).
+    pub day_plus_frac: f64,
+    /// Fraction with a >1-month outage (paper: 7%).
+    pub month_plus_frac: f64,
+    /// Users on day-plus-outage instances.
+    pub users_affected: u64,
+    /// Toots on day-plus-outage instances.
+    pub toots_affected: u64,
+    /// Worst whole-day blackout: `(day, fraction of global toots)`.
+    pub worst_day: (fediscope_model::time::Day, f64),
+}
+
+/// Compute Fig. 10.
+pub fn fig10_outages(obs: &Observatory) -> Fig10Outages {
+    let d = outage_durations(&obs.world.instances, &obs.world.schedules);
+    Fig10Outages {
+        durations: d.durations_days,
+        any_outage_frac: d.any_outage_frac,
+        day_plus_frac: d.day_plus_frac,
+        month_plus_frac: d.month_plus_frac,
+        users_affected: d.users_affected,
+        toots_affected: d.toots_affected,
+        worst_day: worst_day_blackout(&obs.world.instances, &obs.world.schedules),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_worldgen::{Generator, WorldConfig};
+
+    fn obs() -> Observatory {
+        Observatory::new(Generator::generate_world(WorldConfig::small(81)))
+    }
+
+    #[test]
+    fn fig07_headline_bands() {
+        let o = obs();
+        let f = fig07_downtime(&o);
+        // paper: ~50% below 5% downtime; ~11% above 50%
+        assert!((0.30..=0.72).contains(&f.headlines.below_5pct));
+        assert!((0.02..=0.25).contains(&f.headlines.above_50pct));
+        assert!(f.headlines.mean > 0.02 && f.headlines.mean < 0.30);
+        assert!(!f.users_exposure.is_empty());
+    }
+
+    #[test]
+    fn fig08_twitter_beats_mastodon() {
+        let o = obs();
+        let f = fig08_daily_downtime(&o, 7);
+        assert!(
+            f.mastodon_mean > 2.0 * f.twitter_mean,
+            "mastodon {} vs twitter {}",
+            f.mastodon_mean,
+            f.twitter_mean
+        );
+        // size is a poor predictor of availability
+        if let Some(c) = f.size_correlation {
+            assert!(c.abs() < 0.4, "correlation {c}");
+        }
+        // the mid-size bin is the most reliable (non-monotonic pattern)
+        let median_of = |bin: SizeBin| {
+            f.bins
+                .iter()
+                .find(|(b, _)| *b == bin)
+                .and_then(|(_, s)| s.as_ref())
+                .map(|s| s.median)
+        };
+        if let (Some(small), Some(large)) = (median_of(SizeBin::Small), median_of(SizeBin::Large))
+        {
+            assert!(small >= large);
+        }
+    }
+
+    #[test]
+    fn fig09_lets_encrypt_and_cohort() {
+        let o = obs();
+        let f = fig09_certificates(&o);
+        let le = f
+            .footprint
+            .iter()
+            .find(|(ca, _)| *ca == CertificateAuthority::LetsEncrypt)
+            .unwrap()
+            .1;
+        assert!(le > 0.8);
+        // synchronized expiry cohort peaks well above background
+        assert!(f.outages.worst_day_count() >= 3);
+    }
+
+    #[test]
+    fn table1_detects_planned_failures() {
+        let o = obs();
+        let rows = table1_as_failures(&o, 3);
+        assert!(!rows.is_empty());
+        let total_failures: usize = rows.iter().map(|r| r.failures).sum();
+        assert!(total_failures >= 3);
+    }
+
+    #[test]
+    fn fig10_shape() {
+        let o = obs();
+        let f = fig10_outages(&o);
+        assert!(f.any_outage_frac > 0.85, "{}", f.any_outage_frac);
+        assert!((0.05..=0.5).contains(&f.day_plus_frac), "{}", f.day_plus_frac);
+        assert!(f.month_plus_frac < f.day_plus_frac);
+        assert!(f.worst_day.1 > 0.0, "some day must lose toots");
+        assert!(f.users_affected > 0);
+    }
+}

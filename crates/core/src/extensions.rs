@@ -1,0 +1,232 @@
+//! Extensions beyond the paper's evaluation, implementing its stated future
+//! work (§7): "our future work will investigate the impact that instance
+//! blocking has on the social graph and how it can be used to filter
+//! malicious content" — motivated by Gab's fork of Mastodon.
+//!
+//! Instance blocking ("defederation") removes an instance from everyone
+//! else's federation without taking it offline: its users keep their local
+//! graph, but all cross-instance subscriptions involving it disappear.
+
+use crate::observatory::{Metric, Observatory};
+use fediscope_graph::weakly_connected;
+
+/// Impact assessment of blocking a set of instances.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DefederationReport {
+    /// The blocked instance ids.
+    pub blocked: Vec<u32>,
+    /// Federation-graph LCC (fraction of instances) before blocking.
+    pub lcc_instances_before: f64,
+    /// … and after.
+    pub lcc_instances_after: f64,
+    /// User coverage of the federation LCC before blocking.
+    pub lcc_users_before: f64,
+    /// … and after (blocked instances' users no longer count as reachable).
+    pub lcc_users_after: f64,
+    /// User-level follow edges severed (either endpoint on a blocked
+    /// instance, endpoints on different instances).
+    pub follows_severed: usize,
+    /// Users on *remaining* instances who lose at least one followee.
+    pub users_losing_followees: usize,
+    /// Remote-toot volume that vanishes from the remaining instances'
+    /// federated timelines (the content-filtering effect).
+    pub timeline_toots_lost: u64,
+}
+
+/// Assess the impact of blocking `blocked` (instance ids) everywhere.
+pub fn defederation_impact(obs: &Observatory, blocked: &[u32]) -> DefederationReport {
+    let fed = obs.federation_graph();
+    let n = fed.node_count();
+    let blocked_set: std::collections::HashSet<u32> = blocked.iter().copied().collect();
+    let weights = obs.user_weights();
+    let total_users: f64 = weights.iter().sum();
+
+    let before = weakly_connected(fed, None);
+    // Blocking an instance isolates it: equivalent to removing its node
+    // from the federation graph (its *local* community survives but cannot
+    // federate).
+    let alive: Vec<bool> = (0..n as u32).map(|i| !blocked_set.contains(&i)).collect();
+    let after = weakly_connected(fed, Some(&alive));
+
+    // User-level effects.
+    let view = obs.content_view();
+    let mut severed = 0usize;
+    let mut losing: std::collections::HashSet<u32> = Default::default();
+    for &(a, b) in &obs.world.follows {
+        let ia = view.home[a.index()];
+        let ib = view.home[b.index()];
+        if ia == ib {
+            continue;
+        }
+        let a_blocked = blocked_set.contains(&ia);
+        let b_blocked = blocked_set.contains(&ib);
+        if a_blocked != b_blocked {
+            severed += 1;
+            if !a_blocked {
+                losing.insert(a.0);
+            }
+        } else if a_blocked && b_blocked {
+            // both blocked: federation between two blocked instances also
+            // stops, but affects no remaining instance
+            severed += 1;
+        }
+    }
+
+    // Timeline content lost by the remaining instances: deduplicated
+    // (instance, blocked followee) pairs weighted by the followee's toots.
+    let mut pairs: Vec<(u32, u32)> = Vec::new();
+    for u in 0..view.n_users() {
+        if !blocked_set.contains(&view.home[u]) {
+            continue;
+        }
+        for &inst in &view.follower_instances[u] {
+            if inst != view.home[u] && !blocked_set.contains(&inst) {
+                pairs.push((inst, u as u32));
+            }
+        }
+    }
+    pairs.sort_unstable();
+    pairs.dedup();
+    let timeline_toots_lost: u64 = pairs
+        .iter()
+        .map(|&(_, u)| view.toots[u as usize])
+        .sum();
+
+    DefederationReport {
+        blocked: blocked.to_vec(),
+        lcc_instances_before: before.largest() as f64 / n.max(1) as f64,
+        lcc_instances_after: after.largest() as f64 / n.max(1) as f64,
+        lcc_users_before: if total_users > 0.0 {
+            before.largest_weight(&weights) / total_users
+        } else {
+            0.0
+        },
+        lcc_users_after: if total_users > 0.0 {
+            after.largest_weight(&weights) / total_users
+        } else {
+            0.0
+        },
+        follows_severed: severed,
+        users_losing_followees: losing.len(),
+        timeline_toots_lost,
+    }
+}
+
+/// Scenario helper: the `k` largest instances by a metric (the "what if
+/// everyone blocked the giants?" experiment).
+pub fn largest_instances(obs: &Observatory, metric: Metric, k: usize) -> Vec<u32> {
+    let mut order = obs.instance_order(metric);
+    order.truncate(k);
+    order
+}
+
+/// Scenario helper: a "rogue fork" — the single instance whose blocking
+/// severs the most cross-instance follows (the Gab scenario: one large,
+/// widely-connected instance).
+pub fn most_connected_instance(obs: &Observatory) -> Option<u32> {
+    let fed = obs.federation_graph();
+    (0..fed.node_count() as u32).max_by_key(|&i| fed.degree(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_worldgen::{Generator, WorldConfig};
+
+    fn obs() -> Observatory {
+        Observatory::new(Generator::generate_world(WorldConfig::tiny(404)))
+    }
+
+    #[test]
+    fn blocking_nothing_changes_nothing() {
+        let o = obs();
+        let r = defederation_impact(&o, &[]);
+        assert_eq!(r.lcc_instances_before, r.lcc_instances_after);
+        assert_eq!(r.lcc_users_before, r.lcc_users_after);
+        assert_eq!(r.follows_severed, 0);
+        assert_eq!(r.users_losing_followees, 0);
+        assert_eq!(r.timeline_toots_lost, 0);
+    }
+
+    #[test]
+    fn blocking_the_giants_hurts_user_coverage_most() {
+        let o = obs();
+        let giants = largest_instances(&o, Metric::Users, 3);
+        let r = defederation_impact(&o, &giants);
+        // instance-level LCC barely moves (3 nodes gone) but the user
+        // coverage collapses — the paper's centralisation point restated
+        assert!(r.lcc_instances_after <= r.lcc_instances_before);
+        assert!(
+            r.lcc_users_after < r.lcc_users_before * 0.8,
+            "user coverage {} -> {}",
+            r.lcc_users_before,
+            r.lcc_users_after
+        );
+        assert!(r.follows_severed > 0);
+        assert!(r.users_losing_followees > 0);
+    }
+
+    #[test]
+    fn blocking_tail_instance_is_cheap() {
+        let o = obs();
+        // least-connected populated instance
+        let order = o.instance_order(Metric::Users);
+        let tail = *order.last().unwrap();
+        let r = defederation_impact(&o, &[tail]);
+        assert!(
+            r.lcc_users_after >= r.lcc_users_before - 0.05,
+            "blocking a tail instance should barely matter"
+        );
+    }
+
+    #[test]
+    fn timeline_loss_bounded_by_blocked_production() {
+        let o = obs();
+        let giants = largest_instances(&o, Metric::Toots, 2);
+        let r = defederation_impact(&o, &giants);
+        // lost remote volume cannot exceed (replicas per user) × production,
+        // and with deduplicated (instance, followee) pairs it is at most
+        // production × number of remaining instances
+        let produced: u64 = giants
+            .iter()
+            .map(|&i| o.toots_per_instance[i as usize])
+            .sum();
+        let remaining = o.world.instances.len() as u64;
+        assert!(r.timeline_toots_lost <= produced * remaining);
+        assert!(r.timeline_toots_lost > 0, "giants feed many timelines");
+    }
+
+    #[test]
+    fn most_connected_is_a_giant() {
+        let o = obs();
+        let hub = most_connected_instance(&o).unwrap();
+        let fed = o.federation_graph();
+        let median_degree = {
+            let mut d: Vec<u32> = (0..fed.node_count() as u32).map(|i| fed.degree(i)).collect();
+            d.sort_unstable();
+            d[d.len() / 2]
+        };
+        assert!(fed.degree(hub) > median_degree);
+    }
+
+    #[test]
+    fn severed_counts_are_symmetric_in_blocking_direction() {
+        // blocking A from B's view also stops B→A: every cross edge with
+        // exactly one blocked endpoint is severed exactly once.
+        let o = obs();
+        let giants = largest_instances(&o, Metric::Users, 1);
+        let r = defederation_impact(&o, &giants);
+        let view = o.content_view();
+        let hand: usize = o
+            .world
+            .follows
+            .iter()
+            .filter(|&&(a, b)| {
+                let ia = view.home[a.index()];
+                let ib = view.home[b.index()];
+                ia != ib && (giants.contains(&ia) || giants.contains(&ib))
+            })
+            .count();
+        assert_eq!(r.follows_severed, hand);
+    }
+}

@@ -1,0 +1,30 @@
+//! # fediscope-core
+//!
+//! The IMC'19 study pipeline: every figure and table of "Challenges in the
+//! Decentralised Web: The Mastodon Case" as a typed, testable analysis over
+//! a [`fediscope_model::World`].
+//!
+//! - [`observatory::Observatory`]: caches the derived artefacts (user graph,
+//!   federation graph, per-instance aggregates, removal orders),
+//! - [`population`]: Figs. 1–6 (§4.1–§4.3),
+//! - [`availability`]: Figs. 7–10 and Table 1 (§4.4),
+//! - [`graphs`]: Figs. 11–13 and Table 2 (§5.1),
+//! - [`content`]: Figs. 14–16 (§5.2),
+//! - [`extensions`]: the paper's stated future work (instance blocking),
+//! - [`verdicts`]: automated paper-vs-measured shape checks,
+//! - [`report`]: plain-text rendering shared by the repro binary and the
+//!   examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod availability;
+pub mod extensions;
+pub mod content;
+pub mod graphs;
+pub mod observatory;
+pub mod population;
+pub mod report;
+pub mod verdicts;
+
+pub use observatory::{Metric, Observatory};

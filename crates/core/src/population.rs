@@ -1,0 +1,539 @@
+//! §4 analyses: instance population, categories, policies, hosting
+//! (Figs. 1–6).
+
+use crate::observatory::Observatory;
+use fediscope_model::geo::Country;
+use fediscope_model::instance::Registration;
+use fediscope_model::taxonomy::{Activity, Category};
+use fediscope_model::world::GrowthPoint;
+use fediscope_stats::{top_share, Ecdf};
+
+/// Fig. 1: the daily growth series (downsampled for printing).
+#[derive(Debug, Clone)]
+pub struct Fig01Growth {
+    /// `(day, point)` samples every `stride` days.
+    pub samples: Vec<(u32, GrowthPoint)>,
+    /// Relative instance growth across the Jul–Dec 2017 plateau.
+    pub plateau_instance_growth: f64,
+    /// Relative user growth across the same period (paper: ≈22%).
+    pub plateau_user_growth: f64,
+    /// Relative instance growth over H1 2018 (paper: ≈43%).
+    pub h1_2018_instance_growth: f64,
+}
+
+/// Compute Fig. 1.
+pub fn fig01_growth(obs: &Observatory, stride: u32) -> Fig01Growth {
+    let g = &obs.world.growth;
+    let samples = (0..g.len() as u32)
+        .step_by(stride.max(1) as usize)
+        .map(|d| (d, g[d as usize]))
+        .collect();
+    let ratio = |a: usize, b: usize, f: fn(&GrowthPoint) -> f64| -> f64 {
+        let (va, vb) = (f(&g[a]), f(&g[b]));
+        if va == 0.0 {
+            0.0
+        } else {
+            vb / va - 1.0
+        }
+    };
+    Fig01Growth {
+        samples,
+        plateau_instance_growth: ratio(81, 264, |p| p.instances as f64),
+        plateau_user_growth: ratio(81, 264, |p| p.users as f64),
+        h1_2018_instance_growth: ratio(264, 471, |p| p.instances as f64),
+    }
+}
+
+/// Fig. 2: open vs closed registrations.
+#[derive(Debug, Clone)]
+pub struct Fig02OpenClosed {
+    /// CDF of users per open instance.
+    pub users_open: Ecdf,
+    /// CDF of users per closed instance.
+    pub users_closed: Ecdf,
+    /// CDF of toots per open instance.
+    pub toots_open: Ecdf,
+    /// CDF of toots per closed instance.
+    pub toots_closed: Ecdf,
+    /// Share of instances that are open.
+    pub open_instance_share: f64,
+    /// Share of users on open instances.
+    pub open_user_share: f64,
+    /// Share of toots on open instances.
+    pub open_toot_share: f64,
+    /// Mean users per open / closed instance (paper: 613 vs 87).
+    pub mean_users: (f64, f64),
+    /// Toots per capita on open / closed instances (paper: 94.8 vs 186.65).
+    pub toots_per_capita: (f64, f64),
+    /// Top-5% instance share of users and toots (paper: 90.6% / 94.8%).
+    pub top5_user_share: f64,
+    /// Top-5% share of toots.
+    pub top5_toot_share: f64,
+    /// CDF of active-user percentage, open instances (Fig. 2c).
+    pub activity_open: Ecdf,
+    /// CDF of active-user percentage, closed instances.
+    pub activity_closed: Ecdf,
+}
+
+/// Compute Fig. 2.
+pub fn fig02_open_closed(obs: &Observatory) -> Fig02OpenClosed {
+    let mut users_open = Vec::new();
+    let mut users_closed = Vec::new();
+    let mut toots_open = Vec::new();
+    let mut toots_closed = Vec::new();
+    let mut activity_open = Vec::new();
+    let mut activity_closed = Vec::new();
+    let mut open_users = 0u64;
+    let mut open_toots = 0u64;
+    let mut open_count = 0usize;
+    for (i, inst) in obs.world.instances.iter().enumerate() {
+        let users = obs.users_per_instance[i] as f64;
+        let toots = obs.toots_per_instance[i] as f64;
+        if inst.registration == Registration::Open {
+            users_open.push(users);
+            toots_open.push(toots);
+            open_users += obs.users_per_instance[i] as u64;
+            open_toots += obs.toots_per_instance[i];
+            open_count += 1;
+            if inst.user_count > 0 {
+                activity_open.push(inst.active_user_pct);
+            }
+        } else {
+            users_closed.push(users);
+            toots_closed.push(toots);
+            if inst.user_count > 0 {
+                activity_closed.push(inst.active_user_pct);
+            }
+        }
+    }
+    let total_users: u64 = obs.users_per_instance.iter().map(|&u| u as u64).sum();
+    let total_toots: u64 = obs.toots_per_instance.iter().sum();
+    let all_users: Vec<f64> = obs.users_per_instance.iter().map(|&u| u as f64).collect();
+    let all_toots: Vec<f64> = obs.toots_per_instance.iter().map(|&t| t as f64).collect();
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+    let closed_users = total_users - open_users;
+    let closed_toots = total_toots - open_toots;
+    Fig02OpenClosed {
+        open_instance_share: open_count as f64 / obs.world.instances.len().max(1) as f64,
+        open_user_share: open_users as f64 / total_users.max(1) as f64,
+        open_toot_share: open_toots as f64 / total_toots.max(1) as f64,
+        mean_users: (mean(&users_open), mean(&users_closed)),
+        toots_per_capita: (
+            open_toots as f64 / open_users.max(1) as f64,
+            closed_toots as f64 / closed_users.max(1) as f64,
+        ),
+        top5_user_share: top_share(&all_users, 0.05).unwrap_or(0.0),
+        top5_toot_share: top_share(&all_toots, 0.05).unwrap_or(0.0),
+        users_open: Ecdf::new(users_open),
+        users_closed: Ecdf::new(users_closed),
+        toots_open: Ecdf::new(toots_open),
+        toots_closed: Ecdf::new(toots_closed),
+        activity_open: Ecdf::new(activity_open),
+        activity_closed: Ecdf::new(activity_closed),
+    }
+}
+
+/// One Fig. 3 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CategoryRow {
+    /// The category.
+    pub category: Category,
+    /// Share of categorised instances carrying the tag.
+    pub instance_share: f64,
+    /// Share of categorised-instance toots.
+    pub toot_share: f64,
+    /// Share of categorised-instance users.
+    pub user_share: f64,
+}
+
+/// Fig. 3: category shares over the categorised subset.
+#[derive(Debug, Clone)]
+pub struct Fig03Categories {
+    /// One row per category, Fig. 3 order.
+    pub rows: Vec<CategoryRow>,
+    /// Number of declaring instances (paper: 697).
+    pub declaring_instances: usize,
+    /// Share of all users on declaring instances (paper: 13.6%).
+    pub declared_user_share: f64,
+    /// Share of all toots on declaring instances (paper: 14.4%).
+    pub declared_toot_share: f64,
+}
+
+/// Compute Fig. 3.
+pub fn fig03_categories(obs: &Observatory) -> Fig03Categories {
+    let mut declaring = 0usize;
+    let mut declared_users = 0u64;
+    let mut declared_toots = 0u64;
+    // denominators: non-generic categorised instances
+    let mut cat_instances = 0u64;
+    let mut cat_users = 0u64;
+    let mut cat_toots = 0u64;
+    let mut per_cat = vec![(0u64, 0u64, 0u64); Category::ALL.len()];
+    for (i, inst) in obs.world.instances.iter().enumerate() {
+        if !inst.declares_categories {
+            continue;
+        }
+        declaring += 1;
+        declared_users += obs.users_per_instance[i] as u64;
+        declared_toots += obs.toots_per_instance[i];
+        if inst.categories.is_empty() {
+            continue; // generic
+        }
+        cat_instances += 1;
+        cat_users += obs.users_per_instance[i] as u64;
+        cat_toots += obs.toots_per_instance[i];
+        for (ci, &c) in Category::ALL.iter().enumerate() {
+            if inst.categories.contains(c) {
+                per_cat[ci].0 += 1;
+                per_cat[ci].1 += obs.users_per_instance[i] as u64;
+                per_cat[ci].2 += obs.toots_per_instance[i];
+            }
+        }
+    }
+    let total_users: u64 = obs.users_per_instance.iter().map(|&u| u as u64).sum();
+    let total_toots: u64 = obs.toots_per_instance.iter().sum();
+    let rows = Category::ALL
+        .iter()
+        .enumerate()
+        .map(|(ci, &category)| CategoryRow {
+            category,
+            instance_share: per_cat[ci].0 as f64 / cat_instances.max(1) as f64,
+            user_share: per_cat[ci].1 as f64 / cat_users.max(1) as f64,
+            toot_share: per_cat[ci].2 as f64 / cat_toots.max(1) as f64,
+        })
+        .collect();
+    Fig03Categories {
+        rows,
+        declaring_instances: declaring,
+        declared_user_share: declared_users as f64 / total_users.max(1) as f64,
+        declared_toot_share: declared_toots as f64 / total_toots.max(1) as f64,
+    }
+}
+
+/// One Fig. 4 row.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ActivityRow {
+    /// The activity.
+    pub activity: Activity,
+    /// Share of declaring instances prohibiting it.
+    pub prohibited_share: f64,
+    /// Share of declaring instances explicitly allowing it.
+    pub allowed_share: f64,
+    /// Share of declaring-subset users on allowing instances.
+    pub allowing_user_share: f64,
+    /// Share of declaring-subset toots on allowing instances.
+    pub allowing_toot_share: f64,
+}
+
+/// Fig. 4: activity policies.
+#[derive(Debug, Clone)]
+pub struct Fig04Policies {
+    /// One row per activity (Fig. 4 order).
+    pub rows: Vec<ActivityRow>,
+    /// Share of declaring instances allowing everything (paper: 17.5%).
+    pub allow_all_share: f64,
+    /// Share listing at least one prohibition (paper: 82%).
+    pub some_prohibition_share: f64,
+    /// Share listing at least one permission (paper: 93%).
+    pub some_permission_share: f64,
+}
+
+/// Compute Fig. 4.
+pub fn fig04_policies(obs: &Observatory) -> Fig04Policies {
+    let declaring: Vec<usize> = obs
+        .world
+        .instances
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.declares_categories)
+        .map(|(idx, _)| idx)
+        .collect();
+    let n = declaring.len().max(1) as f64;
+    let subset_users: u64 = declaring
+        .iter()
+        .map(|&i| obs.users_per_instance[i] as u64)
+        .sum();
+    let subset_toots: u64 = declaring.iter().map(|&i| obs.toots_per_instance[i]).sum();
+    let rows = Activity::ALL
+        .iter()
+        .map(|&activity| {
+            let mut prohibited = 0usize;
+            let mut allowed = 0usize;
+            let mut allow_users = 0u64;
+            let mut allow_toots = 0u64;
+            for &i in &declaring {
+                let p = &obs.world.instances[i].policies;
+                if p.prohibits(activity) {
+                    prohibited += 1;
+                } else if p.allows(activity) {
+                    allowed += 1;
+                    allow_users += obs.users_per_instance[i] as u64;
+                    allow_toots += obs.toots_per_instance[i];
+                }
+            }
+            ActivityRow {
+                activity,
+                prohibited_share: prohibited as f64 / n,
+                allowed_share: allowed as f64 / n,
+                allowing_user_share: allow_users as f64 / subset_users.max(1) as f64,
+                allowing_toot_share: allow_toots as f64 / subset_toots.max(1) as f64,
+            }
+        })
+        .collect();
+    let allow_all = declaring
+        .iter()
+        .filter(|&&i| obs.world.instances[i].policies.allows_everything())
+        .count();
+    let some_prohibition = declaring
+        .iter()
+        .filter(|&&i| obs.world.instances[i].policies.prohibited_count() > 0)
+        .count();
+    let some_permission = declaring
+        .iter()
+        .filter(|&&i| obs.world.instances[i].policies.allowed_count() > 0)
+        .count();
+    Fig04Policies {
+        rows,
+        allow_all_share: allow_all as f64 / n,
+        some_prohibition_share: some_prohibition as f64 / n,
+        some_permission_share: some_permission as f64 / n,
+    }
+}
+
+/// One Fig. 5 share row (for a country or an AS).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostingRow {
+    /// Display name.
+    pub name: String,
+    /// Share of instances hosted.
+    pub instance_share: f64,
+    /// Share of users hosted.
+    pub user_share: f64,
+    /// Share of toots hosted.
+    pub toot_share: f64,
+}
+
+/// Fig. 5: hosting concentration.
+#[derive(Debug, Clone)]
+pub struct Fig05Hosting {
+    /// Top-5 countries by instances.
+    pub countries: Vec<HostingRow>,
+    /// Top-5 ASes by users.
+    pub ases: Vec<HostingRow>,
+    /// Number of distinct ASes hosting ≥1 instance (paper: 351).
+    pub distinct_ases: usize,
+    /// User share of the top-3 ASes (paper: ≈62%).
+    pub top3_as_user_share: f64,
+}
+
+/// Compute Fig. 5.
+pub fn fig05_hosting(obs: &Observatory) -> Fig05Hosting {
+    let total_inst = obs.world.instances.len().max(1) as f64;
+    let total_users: u64 = obs.users_per_instance.iter().map(|&u| u as u64).sum();
+    let total_toots: u64 = obs.toots_per_instance.iter().sum();
+
+    // countries
+    let mut per_country = std::collections::HashMap::<Country, (u64, u64, u64)>::new();
+    for (i, inst) in obs.world.instances.iter().enumerate() {
+        let e = per_country.entry(inst.country).or_default();
+        e.0 += 1;
+        e.1 += obs.users_per_instance[i] as u64;
+        e.2 += obs.toots_per_instance[i];
+    }
+    let mut countries: Vec<HostingRow> = per_country
+        .iter()
+        .map(|(c, &(i, u, t))| HostingRow {
+            name: c.name().to_string(),
+            instance_share: i as f64 / total_inst,
+            user_share: u as f64 / total_users.max(1) as f64,
+            toot_share: t as f64 / total_toots.max(1) as f64,
+        })
+        .collect();
+    countries.sort_by(|a, b| b.instance_share.partial_cmp(&a.instance_share).unwrap());
+    countries.truncate(5);
+
+    // ASes
+    let mut per_as = std::collections::HashMap::<u32, (u64, u64, u64)>::new();
+    for (i, inst) in obs.world.instances.iter().enumerate() {
+        let e = per_as.entry(inst.provider_index).or_default();
+        e.0 += 1;
+        e.1 += obs.users_per_instance[i] as u64;
+        e.2 += obs.toots_per_instance[i];
+    }
+    let distinct_ases = per_as.len();
+    let mut ases: Vec<HostingRow> = per_as
+        .iter()
+        .map(|(&p, &(i, u, t))| HostingRow {
+            name: obs.world.providers.get(p as usize).name.clone(),
+            instance_share: i as f64 / total_inst,
+            user_share: u as f64 / total_users.max(1) as f64,
+            toot_share: t as f64 / total_toots.max(1) as f64,
+        })
+        .collect();
+    ases.sort_by(|a, b| b.user_share.partial_cmp(&a.user_share).unwrap());
+    let top3_as_user_share = ases.iter().take(3).map(|r| r.user_share).sum();
+    ases.truncate(5);
+
+    Fig05Hosting {
+        countries,
+        ases,
+        distinct_ases,
+        top3_as_user_share,
+    }
+}
+
+/// Fig. 6: country-to-country federation links.
+#[derive(Debug, Clone)]
+pub struct Fig06CountryLinks {
+    /// Row-major matrix over [`Country::ALL`]: `matrix[a][b]` = fraction of
+    /// all instance-level federation links from country `a` to `b`.
+    pub matrix: Vec<Vec<f64>>,
+    /// Fraction of links whose endpoints share a country (paper: 32%).
+    pub same_country_share: f64,
+    /// Fraction of links attracted by the top-5 destination countries
+    /// (paper: 93.66%).
+    pub top5_destination_share: f64,
+}
+
+/// Compute Fig. 6 from the federation graph.
+pub fn fig06_country_links(obs: &Observatory) -> Fig06CountryLinks {
+    let fed = obs.federation_graph();
+    let country_of: Vec<u32> = obs
+        .world
+        .instances
+        .iter()
+        .map(|i| Country::ALL.iter().position(|&c| c == i.country).unwrap() as u32)
+        .collect();
+    let counts = fediscope_graph::projection::projection_weights(
+        fed,
+        &country_of,
+        Country::ALL.len() as u32,
+    );
+    let total: u64 = counts.iter().flatten().sum();
+    let totalf = total.max(1) as f64;
+    let matrix: Vec<Vec<f64>> = counts
+        .iter()
+        .map(|row| row.iter().map(|&c| c as f64 / totalf).collect())
+        .collect();
+    let same: u64 = (0..Country::ALL.len()).map(|i| counts[i][i]).sum();
+    // destination totals
+    let mut dest: Vec<u64> = (0..Country::ALL.len())
+        .map(|b| (0..Country::ALL.len()).map(|a| counts[a][b]).sum())
+        .collect();
+    dest.sort_unstable_by(|a, b| b.cmp(a));
+    let top5: u64 = dest.iter().take(5).sum();
+    Fig06CountryLinks {
+        matrix,
+        same_country_share: same as f64 / totalf,
+        top5_destination_share: top5 as f64 / totalf,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_worldgen::{Generator, WorldConfig};
+
+    fn obs() -> Observatory {
+        Observatory::new(Generator::generate_world(WorldConfig::small(71)))
+    }
+
+    #[test]
+    fn fig01_growth_shape() {
+        let o = obs();
+        let f = fig01_growth(&o, 30);
+        assert!(!f.samples.is_empty());
+        // users grow through the plateau, instances barely
+        assert!(f.plateau_user_growth > f.plateau_instance_growth);
+        // H1-2018 re-acceleration
+        assert!(f.h1_2018_instance_growth > 0.2, "{}", f.h1_2018_instance_growth);
+    }
+
+    #[test]
+    fn fig02_shares_and_skew() {
+        let o = obs();
+        let f = fig02_open_closed(&o);
+        assert!((f.open_instance_share - 0.478).abs() < 0.06);
+        // open instances hold the majority of users
+        assert!(f.open_user_share > 0.5);
+        // but closed users toot more per capita
+        assert!(f.toots_per_capita.1 > f.toots_per_capita.0);
+        // extreme concentration
+        assert!(f.top5_user_share > 0.6, "{}", f.top5_user_share);
+        assert!(f.top5_toot_share > 0.6);
+        // activity medians ordered (closed more engaged)
+        assert!(
+            f.activity_closed.median().unwrap() > f.activity_open.median().unwrap()
+        );
+        assert!(f.mean_users.0 > f.mean_users.1);
+    }
+
+    #[test]
+    fn fig03_tech_leads_instances_adult_leads_users() {
+        let o = obs();
+        let f = fig03_categories(&o);
+        let row = |c: Category| f.rows.iter().find(|r| r.category == c).unwrap().clone();
+        assert!(row(Category::Tech).instance_share > row(Category::Adult).instance_share);
+        // adult attracts disproportionate users
+        let adult = row(Category::Adult);
+        assert!(
+            adult.user_share > 2.0 * adult.instance_share,
+            "adult users {} vs instances {}",
+            adult.user_share,
+            adult.instance_share
+        );
+        // tech gets fewer toots than its instance share
+        let tech = row(Category::Tech);
+        assert!(tech.toot_share < tech.instance_share);
+        // the declared subset is a small minority of users
+        assert!(f.declared_user_share < 0.6);
+    }
+
+    #[test]
+    fn fig04_spam_most_prohibited() {
+        let o = obs();
+        let f = fig04_policies(&o);
+        let spam = f
+            .rows
+            .iter()
+            .find(|r| r.activity == Activity::Spam)
+            .unwrap();
+        for r in &f.rows {
+            assert!(spam.prohibited_share >= r.prohibited_share - 1e-9);
+        }
+        assert!((f.allow_all_share - 0.175).abs() < 0.08);
+        assert!(f.some_permission_share > f.allow_all_share);
+    }
+
+    #[test]
+    fn fig05_concentration() {
+        let o = obs();
+        let f = fig05_hosting(&o);
+        assert_eq!(f.countries.len(), 5);
+        assert!(!f.ases.is_empty());
+        // Japan leads instance hosting
+        assert_eq!(f.countries[0].name, "Japan");
+        // heavy AS concentration of users
+        assert!(f.top3_as_user_share > 0.3, "{}", f.top3_as_user_share);
+        // shares are valid fractions
+        for r in f.countries.iter().chain(&f.ases) {
+            assert!((0.0..=1.0).contains(&r.instance_share));
+            assert!((0.0..=1.0).contains(&r.user_share));
+        }
+    }
+
+    #[test]
+    fn fig06_homophily() {
+        let o = obs();
+        let f = fig06_country_links(&o);
+        let total: f64 = f.matrix.iter().flatten().sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // same-country links are well above random mixing
+        assert!(
+            f.same_country_share > 0.15,
+            "same-country {}",
+            f.same_country_share
+        );
+        assert!(f.top5_destination_share > 0.7);
+    }
+}

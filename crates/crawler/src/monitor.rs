@@ -1,0 +1,162 @@
+//! The instance monitor: the mnm.social replica.
+//!
+//! "Every five minutes, mnm.social connected to each instance's
+//! `/api/v1/instance` API endpoint" (§3). [`InstanceMonitor::poll_all`]
+//! performs one such sweep; the caller advances the virtual clock between
+//! sweeps (or wires a ticker). Results accumulate into an
+//! [`InstancesDataset`].
+
+use crate::discovery::SeedList;
+use crate::politeness::Politeness;
+use fediscope_httpwire::Client;
+use fediscope_model::datasets::{InstanceApiInfo, InstancesDataset, ObservedSeries, PollResult};
+use fediscope_model::time::Epoch;
+use std::sync::Arc;
+use tokio::sync::Semaphore;
+
+/// Accumulating monitor.
+pub struct InstanceMonitor {
+    seeds: SeedList,
+    politeness: Politeness,
+    client: Client,
+    dataset: InstancesDataset,
+}
+
+impl InstanceMonitor {
+    /// New monitor over a seed list.
+    pub fn new(seeds: SeedList, politeness: Politeness) -> Self {
+        let dataset = InstancesDataset {
+            series: seeds
+                .entries()
+                .iter()
+                .map(|s| ObservedSeries {
+                    instance: s.instance,
+                    polls: Vec::new(),
+                })
+                .collect(),
+        };
+        Self {
+            seeds,
+            politeness,
+            client: Client::default(),
+            dataset,
+        }
+    }
+
+    /// Use a custom HTTP client (timeouts).
+    pub fn with_client(mut self, client: Client) -> Self {
+        self.client = client;
+        self
+    }
+
+    /// Poll every seed once, recording results under `epoch`.
+    pub async fn poll_all(&mut self, epoch: Epoch) {
+        let sem = Arc::new(Semaphore::new(self.politeness.concurrency));
+        let mut joins = Vec::with_capacity(self.seeds.len());
+        for (idx, seed) in self.seeds.entries().iter().cloned().enumerate() {
+            let sem = sem.clone();
+            let client = self.client.clone();
+            let politeness = self.politeness.clone();
+            joins.push(tokio::spawn(async move {
+                let _permit = sem.acquire_owned().await.expect("semaphore open");
+                let result = poll_instance(&client, &politeness, &seed.addr, &seed.domain).await;
+                (idx, result)
+            }));
+        }
+        for j in joins {
+            let (idx, result) = j.await.expect("poll task panicked");
+            self.dataset.series[idx].polls.push((epoch, result));
+        }
+    }
+
+    /// Finish monitoring and take the dataset.
+    pub fn into_dataset(self) -> InstancesDataset {
+        self.dataset
+    }
+
+    /// Peek at the dataset so far.
+    pub fn dataset(&self) -> &InstancesDataset {
+        &self.dataset
+    }
+}
+
+/// One poll with retries; any persistent failure maps to [`PollResult::Down`]
+/// — the monitor cannot distinguish causes, which is exactly the paper's
+/// vantage point.
+pub async fn poll_instance(
+    client: &Client,
+    politeness: &Politeness,
+    addr: &std::net::SocketAddr,
+    domain: &str,
+) -> PollResult {
+    for attempt in 0..=politeness.retries {
+        match client.get(*addr, domain, "/api/v1/instance").await {
+            Ok(resp) if resp.status.is_success() => {
+                match parse_instance_info(&resp.text()) {
+                    Some(info) => return PollResult::Up(info),
+                    None => return PollResult::Down, // corrupt payload
+                }
+            }
+            Ok(resp) if resp.status.0 == 500 || resp.status.0 == 429 => {
+                // transient: retry after backoff
+                if attempt < politeness.retries {
+                    tokio::time::sleep(politeness.backoff_for(attempt)).await;
+                    continue;
+                }
+                return PollResult::Down;
+            }
+            Ok(_) => return PollResult::Down, // 4xx/503: down for our purposes
+            Err(_) => {
+                if attempt < politeness.retries {
+                    tokio::time::sleep(politeness.backoff_for(attempt)).await;
+                    continue;
+                }
+                return PollResult::Down;
+            }
+        }
+    }
+    PollResult::Down
+}
+
+/// Parse the instance-API payload into the §3 field set.
+pub fn parse_instance_info(body: &str) -> Option<InstanceApiInfo> {
+    let v: serde_json::Value = serde_json::from_str(body).ok()?;
+    Some(InstanceApiInfo {
+        name: v["uri"].as_str()?.to_string(),
+        version: v["version"].as_str()?.to_string(),
+        toots: v["stats"]["status_count"].as_u64()?,
+        users: v["stats"]["user_count"].as_u64()? as u32,
+        subscriptions: v["stats"]["domain_count"].as_u64()? as u32,
+        logins: v["logins_week"].as_u64().unwrap_or(0) as u32,
+        registration_open: v["registrations"].as_bool()?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_valid_payload() {
+        let body = r#"{
+            "uri": "m0001.fedi.test", "version": "2.4.0",
+            "registrations": true,
+            "stats": {"user_count": 12, "status_count": 340, "domain_count": 7},
+            "logins_week": 5
+        }"#;
+        let info = parse_instance_info(body).unwrap();
+        assert_eq!(info.name, "m0001.fedi.test");
+        assert_eq!(info.users, 12);
+        assert_eq!(info.toots, 340);
+        assert_eq!(info.subscriptions, 7);
+        assert_eq!(info.logins, 5);
+        assert!(info.registration_open);
+    }
+
+    #[test]
+    fn parse_rejects_malformed() {
+        assert!(parse_instance_info("not json").is_none());
+        assert!(parse_instance_info(r#"{"uri": 5}"#).is_none());
+        assert!(parse_instance_info(r#"{"uri":"x","version":"v","stats":{}}"#).is_none());
+    }
+}

@@ -1,0 +1,79 @@
+//! Politeness policy: concurrency, pacing, retries.
+
+use std::time::Duration;
+
+/// How aggressively the crawler talks to instances.
+#[derive(Debug, Clone)]
+pub struct Politeness {
+    /// Maximum in-flight requests across all instances (the paper used 10
+    /// threads × 7 machines = 70 concurrent workers at internet scale).
+    pub concurrency: usize,
+    /// Artificial delay between successive API calls to the *same* instance
+    /// ("to avoid overwhelming instances").
+    pub per_call_delay: Duration,
+    /// Retries after transient failures (5xx/timeouts) before giving up.
+    pub retries: u32,
+    /// Base backoff; doubles per retry.
+    pub backoff: Duration,
+}
+
+impl Default for Politeness {
+    fn default() -> Self {
+        Self {
+            concurrency: 16,
+            per_call_delay: Duration::from_millis(2),
+            retries: 2,
+            backoff: Duration::from_millis(5),
+        }
+    }
+}
+
+impl Politeness {
+    /// Fast profile for tests: no pacing, one retry.
+    pub fn fast() -> Self {
+        Self {
+            concurrency: 32,
+            per_call_delay: Duration::ZERO,
+            retries: 1,
+            backoff: Duration::from_millis(1),
+        }
+    }
+
+    /// Backoff before retry `attempt` (0-based): exponential doubling.
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff.saturating_mul(1u32 << attempt.min(16))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponential_backoff() {
+        let p = Politeness {
+            backoff: Duration::from_millis(10),
+            ..Politeness::default()
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(3), Duration::from_millis(80));
+    }
+
+    #[test]
+    fn backoff_saturates() {
+        let p = Politeness {
+            backoff: Duration::from_secs(1 << 20),
+            ..Politeness::default()
+        };
+        // must not panic on overflow
+        let _ = p.backoff_for(40);
+    }
+
+    #[test]
+    fn defaults_sane() {
+        let p = Politeness::default();
+        assert!(p.concurrency > 0);
+        assert!(p.retries > 0);
+    }
+}

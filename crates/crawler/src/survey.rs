@@ -1,0 +1,109 @@
+//! The full survey: the paper's three data-collection campaigns as one
+//! orchestrated run.
+//!
+//! §3's methodology in order: (i) monitor the instance population,
+//! (ii) crawl toots from the instances that are up and crawlable,
+//! (iii) scrape the follower lists of every user seen tooting. The output
+//! bundles the three datasets exactly as the paper's analyses consume them.
+
+use crate::discovery::SeedList;
+use crate::followers::scrape_followers;
+use crate::monitor::InstanceMonitor;
+use crate::politeness::Politeness;
+use crate::toots::crawl_toots;
+use fediscope_httpwire::Client;
+use fediscope_model::datasets::{GraphDataset, InstancesDataset, TootsDataset};
+use fediscope_model::ids::{InstanceId, UserId};
+use fediscope_model::time::Epoch;
+
+/// The bundled output of a survey run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Survey {
+    /// The monitoring series (one poll per requested epoch).
+    pub instances: InstancesDataset,
+    /// The toot crawl.
+    pub toots: TootsDataset,
+    /// The follower graphs.
+    pub graphs: GraphDataset,
+}
+
+impl Survey {
+    /// Accounts that were seen tooting (the scrape targets that §3 used).
+    pub fn tooting_users(toots: &TootsDataset) -> Vec<(UserId, InstanceId)> {
+        let mut out = Vec::new();
+        for record in &toots.records {
+            for &(user, _count) in &record.user_toots {
+                out.push((user, record.instance));
+            }
+        }
+        out
+    }
+}
+
+/// Run the full survey against a seed list.
+///
+/// `monitor_epochs` are the poll times (the caller advances any virtual
+/// clock between them via the `on_epoch` hook — pass `|_| {}` when talking
+/// to real infrastructure where wall time is the clock).
+pub async fn run_survey<F>(
+    seeds: &SeedList,
+    politeness: &Politeness,
+    monitor_epochs: &[Epoch],
+    mut on_epoch: F,
+) -> Survey
+where
+    F: FnMut(Epoch),
+{
+    let client = Client::default();
+    let mut monitor = InstanceMonitor::new(seeds.clone(), politeness.clone());
+    for &epoch in monitor_epochs {
+        on_epoch(epoch);
+        monitor.poll_all(epoch).await;
+    }
+    let instances = monitor.into_dataset();
+
+    let toots = crawl_toots(seeds, politeness, &client).await;
+    let targets = Survey::tooting_users(&toots);
+    let graphs = scrape_followers(seeds, &targets, politeness, &client).await;
+
+    Survey {
+        instances,
+        toots,
+        graphs,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_model::datasets::TootCrawlRecord;
+
+    #[test]
+    fn tooting_users_extraction() {
+        let toots = TootsDataset {
+            records: vec![
+                TootCrawlRecord {
+                    instance: InstanceId(0),
+                    crawled: true,
+                    home_toots: 5,
+                    remote_toots: 0,
+                    tooting_users: 2,
+                    user_toots: vec![(UserId(3), 2), (UserId(9), 3)],
+                },
+                TootCrawlRecord {
+                    instance: InstanceId(1),
+                    crawled: false,
+                    home_toots: 0,
+                    remote_toots: 0,
+                    tooting_users: 0,
+                    user_toots: vec![],
+                },
+            ],
+        };
+        let targets = Survey::tooting_users(&toots);
+        assert_eq!(
+            targets,
+            vec![(UserId(3), InstanceId(0)), (UserId(9), InstanceId(0))]
+        );
+    }
+}

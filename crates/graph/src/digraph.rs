@@ -1,0 +1,281 @@
+//! Compressed sparse-row directed graph.
+
+/// Incrementally collects edges, then freezes them into a [`DiGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: u32,
+    edges: Vec<(u32, u32)>,
+}
+
+impl GraphBuilder {
+    /// Builder for a graph with `n` nodes (`0..n`).
+    pub fn new(n: u32) -> Self {
+        Self {
+            n,
+            edges: Vec::new(),
+        }
+    }
+
+    /// Add a directed edge `a → b`. Self-loops are ignored (the follower
+    /// semantics of the study have no self-follows). Out-of-range endpoints
+    /// panic.
+    pub fn add_edge(&mut self, a: u32, b: u32) {
+        assert!(a < self.n && b < self.n, "edge ({a},{b}) out of range");
+        if a != b {
+            self.edges.push((a, b));
+        }
+    }
+
+    /// Bulk-add edges.
+    pub fn extend<I: IntoIterator<Item = (u32, u32)>>(&mut self, iter: I) {
+        for (a, b) in iter {
+            self.add_edge(a, b);
+        }
+    }
+
+    /// Number of edges buffered so far (before dedup).
+    pub fn pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Freeze into a [`DiGraph`], deduplicating parallel edges.
+    pub fn build(mut self) -> DiGraph {
+        self.edges.sort_unstable();
+        self.edges.dedup();
+        let n = self.n as usize;
+        let m = self.edges.len();
+
+        let mut out_offsets = vec![0u32; n + 1];
+        for &(a, _) in &self.edges {
+            out_offsets[a as usize + 1] += 1;
+        }
+        for i in 0..n {
+            out_offsets[i + 1] += out_offsets[i];
+        }
+        let mut out_targets = vec![0u32; m];
+        {
+            let mut cursor = out_offsets.clone();
+            for &(a, b) in &self.edges {
+                out_targets[cursor[a as usize] as usize] = b;
+                cursor[a as usize] += 1;
+            }
+        }
+
+        // In-adjacency (reverse CSR).
+        let mut in_offsets = vec![0u32; n + 1];
+        for &(_, b) in &self.edges {
+            in_offsets[b as usize + 1] += 1;
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        let mut in_sources = vec![0u32; m];
+        {
+            let mut cursor = in_offsets.clone();
+            for &(a, b) in &self.edges {
+                in_sources[cursor[b as usize] as usize] = a;
+                cursor[b as usize] += 1;
+            }
+        }
+
+        DiGraph {
+            n: self.n,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+}
+
+/// An immutable directed graph in CSR form with both directions indexed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiGraph {
+    n: u32,
+    out_offsets: Vec<u32>,
+    out_targets: Vec<u32>,
+    in_offsets: Vec<u32>,
+    in_sources: Vec<u32>,
+}
+
+impl DiGraph {
+    /// Build directly from an edge list over `0..n`.
+    pub fn from_edges(n: u32, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
+        let mut b = GraphBuilder::new(n);
+        b.extend(edges);
+        b.build()
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n as usize
+    }
+
+    /// Number of (deduplicated) edges.
+    pub fn edge_count(&self) -> usize {
+        self.out_targets.len()
+    }
+
+    /// Out-neighbours of `v` (sorted ascending).
+    pub fn out_neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.out_offsets[v as usize] as usize;
+        let hi = self.out_offsets[v as usize + 1] as usize;
+        &self.out_targets[lo..hi]
+    }
+
+    /// In-neighbours of `v`.
+    pub fn in_neighbors(&self, v: u32) -> &[u32] {
+        let lo = self.in_offsets[v as usize] as usize;
+        let hi = self.in_offsets[v as usize + 1] as usize;
+        &self.in_sources[lo..hi]
+    }
+
+    /// Out-degree of `v`.
+    pub fn out_degree(&self, v: u32) -> u32 {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// In-degree of `v`.
+    pub fn in_degree(&self, v: u32) -> u32 {
+        self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+    }
+
+    /// Total degree (in + out) of `v`.
+    pub fn degree(&self, v: u32) -> u32 {
+        self.out_degree(v) + self.in_degree(v)
+    }
+
+    /// Does the edge `a → b` exist?
+    pub fn has_edge(&self, a: u32, b: u32) -> bool {
+        self.out_neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterate all edges `(a, b)`.
+    pub fn edges(&self) -> impl Iterator<Item = (u32, u32)> + '_ {
+        (0..self.n).flat_map(move |a| self.out_neighbors(a).iter().map(move |&b| (a, b)))
+    }
+
+    /// All node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = u32> {
+        0..self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> DiGraph {
+        // 0 -> 1 -> 3, 0 -> 2 -> 3
+        DiGraph::from_edges(4, [(0, 1), (0, 2), (1, 3), (2, 3)])
+    }
+
+    #[test]
+    fn adjacency_and_degrees() {
+        let g = diamond();
+        assert_eq!(g.node_count(), 4);
+        assert_eq!(g.edge_count(), 4);
+        assert_eq!(g.out_neighbors(0), &[1, 2]);
+        assert_eq!(g.in_neighbors(3), &[1, 2]);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 0);
+        assert_eq!(g.degree(3), 2);
+    }
+
+    #[test]
+    fn parallel_edges_dedup() {
+        let g = DiGraph::from_edges(2, [(0, 1), (0, 1), (0, 1)]);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_dropped() {
+        let g = DiGraph::from_edges(3, [(0, 0), (1, 2)]);
+        assert_eq!(g.edge_count(), 1);
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn has_edge_works() {
+        let g = diamond();
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(1, 0));
+        assert!(!g.has_edge(3, 0));
+    }
+
+    #[test]
+    fn edges_iterator_round_trips() {
+        let edges = vec![(0, 1), (0, 2), (1, 3), (2, 3)];
+        let g = DiGraph::from_edges(4, edges.clone());
+        let got: Vec<(u32, u32)> = g.edges().collect();
+        assert_eq!(got, edges);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = DiGraph::from_edges(0, []);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+    }
+
+    #[test]
+    fn isolated_nodes_have_no_neighbors() {
+        let g = DiGraph::from_edges(5, [(0, 1)]);
+        assert!(g.out_neighbors(3).is_empty());
+        assert!(g.in_neighbors(3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_edge_panics() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 5);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    proptest! {
+        /// CSR round-trips an arbitrary edge set exactly (after dedup and
+        /// self-loop removal).
+        #[test]
+        fn csr_round_trip(edges in proptest::collection::vec((0u32..40, 0u32..40), 0..300)) {
+            let expect: BTreeSet<(u32, u32)> = edges
+                .iter()
+                .copied()
+                .filter(|(a, b)| a != b)
+                .collect();
+            let g = DiGraph::from_edges(40, edges);
+            let got: BTreeSet<(u32, u32)> = g.edges().collect();
+            prop_assert_eq!(got, expect);
+        }
+
+        /// Degree sums equal edge count in both directions.
+        #[test]
+        fn degree_sums(edges in proptest::collection::vec((0u32..40, 0u32..40), 0..300)) {
+            let g = DiGraph::from_edges(40, edges);
+            let out_sum: u32 = g.nodes().map(|v| g.out_degree(v)).sum();
+            let in_sum: u32 = g.nodes().map(|v| g.in_degree(v)).sum();
+            prop_assert_eq!(out_sum as usize, g.edge_count());
+            prop_assert_eq!(in_sum as usize, g.edge_count());
+        }
+
+        /// in_neighbors is exactly the transpose of out_neighbors.
+        #[test]
+        fn transpose_consistency(edges in proptest::collection::vec((0u32..30, 0u32..30), 0..200)) {
+            let g = DiGraph::from_edges(30, edges);
+            for (a, b) in g.edges() {
+                prop_assert!(g.in_neighbors(b).contains(&a));
+            }
+            for v in g.nodes() {
+                for &s in g.in_neighbors(v) {
+                    prop_assert!(g.has_edge(s, v));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,33 @@
+//! # fediscope-graph
+//!
+//! Directed-graph substrate for the fediscope toolkit, written from scratch
+//! (no petgraph): compressed sparse-row storage, connected components, degree
+//! statistics, and the node-removal resilience sweeps of §5.1 of the paper.
+//!
+//! Nodes are dense `u32` indices; callers keep their own `UserId`/
+//! `InstanceId` ↔ node mappings (they are dense already, so the mapping is
+//! the identity in practice).
+//!
+//! - [`DiGraph`] / [`GraphBuilder`]: CSR storage with out- and in-adjacency,
+//! - [`components`]: weakly connected components via union-find, strongly
+//!   connected components via an iterative Tarjan,
+//! - [`degree`]: degree sequences and CDFs (Fig. 11),
+//! - [`removal`]: iterative top-degree removal (Fig. 12) and ranked/grouped
+//!   removal sweeps (Fig. 13),
+//! - [`projection`]: quotient graphs (user graph → instance federation
+//!   graph → country graph; Figs. 6, 13).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod components;
+pub mod degree;
+pub mod digraph;
+pub mod projection;
+pub mod removal;
+pub mod unionfind;
+
+pub use components::{strongly_connected, weakly_connected, ComponentInfo};
+pub use digraph::{DiGraph, GraphBuilder};
+pub use removal::{RemovalSweep, SweepPoint};
+pub use unionfind::UnionFind;

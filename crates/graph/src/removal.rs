@@ -1,0 +1,565 @@
+//! Node-removal resilience sweeps (§5.1, Figs. 12 and 13).
+//!
+//! Three methodologies from the paper:
+//!
+//! 1. **Iterative top-degree removal** (Fig. 12): "We proceed in rounds,
+//!    removing the top 1% of remaining nodes in each iteration" — the
+//!    ranking is recomputed on the surviving subgraph every round.
+//! 2. **Ranked removal** (Fig. 13a): remove the top-N instances in a fixed
+//!    external order (by #users or #toots) and evaluate the LCC after each
+//!    removal. Implemented with the reverse (additive) union-find trick so a
+//!    full sweep costs `O(E α)` rather than `O(N·E)`.
+//! 3. **Grouped removal** (Fig. 13b): remove whole groups of nodes at once
+//!    (all instances of an AS).
+//!
+//! All sweeps report the LCC in nodes and (optionally) in caller-provided
+//! node weights — the paper variously normalises by instances, users, and
+//! toots.
+
+use crate::components::{strongly_connected, weakly_connected};
+use crate::digraph::DiGraph;
+use crate::unionfind::UnionFind;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// One evaluation point of a removal sweep.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepPoint {
+    /// Cumulative number of nodes removed at this point.
+    pub removed: usize,
+    /// For grouped sweeps: number of groups removed (equals `removed`
+    /// otherwise meaningless; 0 for ungrouped sweeps).
+    pub groups_removed: usize,
+    /// Largest weakly connected component, in nodes.
+    pub lcc_nodes: u32,
+    /// LCC as a fraction of the graph's *original* node count.
+    pub lcc_node_frac: f64,
+    /// LCC's total weight (sum of caller weights), when weights were given.
+    pub lcc_weight: f64,
+    /// LCC weight as a fraction of total original weight (0 if no weights).
+    pub lcc_weight_frac: f64,
+    /// Number of weakly connected components among surviving nodes.
+    pub wcc_count: usize,
+    /// Number of strongly connected components (only when SCC computation
+    /// is enabled; 0 otherwise).
+    pub scc_count: usize,
+}
+
+/// How the iterative sweep ranks nodes for removal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RankBy {
+    /// Highest total degree in the *surviving* subgraph (the paper's attack
+    /// model).
+    DegreeIterative,
+    /// Uniformly random surviving nodes (the error-tolerance baseline).
+    Random {
+        /// RNG seed for determinism.
+        seed: u64,
+    },
+}
+
+/// Merge the components of `a` and `b`, maintaining the running component
+/// weights, merge count, and maxima used by the reverse sweep. `comp_weight`
+/// is indexed by union-find root and may be empty when weights are unused.
+fn union_alive(
+    uf: &mut UnionFind,
+    comp_weight: &mut [f64],
+    a: u32,
+    b: u32,
+    merges: &mut usize,
+    max_size: &mut u32,
+    max_weight: &mut f64,
+) {
+    let ra = uf.find(a);
+    let rb = uf.find(b);
+    if ra == rb {
+        return;
+    }
+    let merged_w = if comp_weight.is_empty() {
+        0.0
+    } else {
+        comp_weight[ra as usize] + comp_weight[rb as usize]
+    };
+    uf.union(a, b);
+    *merges += 1;
+    let root = uf.find(a);
+    if !comp_weight.is_empty() {
+        comp_weight[root as usize] = merged_w;
+        *max_weight = max_weight.max(merged_w);
+    }
+    *max_size = (*max_size).max(uf.size_of(root));
+}
+
+/// Configurable removal-sweep runner over a borrowed graph.
+pub struct RemovalSweep<'g> {
+    g: &'g DiGraph,
+    weights: Option<Vec<f64>>,
+    compute_scc: bool,
+}
+
+impl<'g> RemovalSweep<'g> {
+    /// New sweep over `g`.
+    pub fn new(g: &'g DiGraph) -> Self {
+        Self {
+            g,
+            weights: None,
+            compute_scc: false,
+        }
+    }
+
+    /// Attach per-node weights (users, toots, …) for weighted-LCC reporting.
+    pub fn with_weights(mut self, w: Vec<f64>) -> Self {
+        assert_eq!(w.len(), self.g.node_count(), "weight length mismatch");
+        self.weights = Some(w);
+        self
+    }
+
+    /// Also compute SCC counts at every evaluation point (costly).
+    pub fn with_scc(mut self, yes: bool) -> Self {
+        self.compute_scc = yes;
+        self
+    }
+
+    fn total_weight(&self) -> f64 {
+        self.weights
+            .as_ref()
+            .map(|w| w.iter().sum())
+            .unwrap_or(0.0)
+    }
+
+    fn point_from_mask(&self, alive: &[bool], removed: usize, groups: usize) -> SweepPoint {
+        let n = self.g.node_count();
+        let wcc = weakly_connected(self.g, Some(alive));
+        let lcc_nodes = wcc.largest();
+        let (lcc_weight, lcc_weight_frac) = match &self.weights {
+            Some(w) => {
+                let total = self.total_weight();
+                // weight of the heaviest component
+                let heaviest = wcc.largest_weight(w);
+                (heaviest, if total > 0.0 { heaviest / total } else { 0.0 })
+            }
+            None => (0.0, 0.0),
+        };
+        let scc_count = if self.compute_scc {
+            strongly_connected(self.g, Some(alive)).count()
+        } else {
+            0
+        };
+        SweepPoint {
+            removed,
+            groups_removed: groups,
+            lcc_nodes,
+            lcc_node_frac: if n > 0 { lcc_nodes as f64 / n as f64 } else { 0.0 },
+            lcc_weight,
+            lcc_weight_frac,
+            wcc_count: wcc.count(),
+            scc_count,
+        }
+    }
+
+    /// Fig. 12 methodology: in each of `steps` rounds remove `frac` of the
+    /// *remaining* nodes (at least 1), ranked per `rank`. Returns one point
+    /// per round, including a round-0 baseline with nothing removed.
+    pub fn iterative_fraction(&self, frac: f64, steps: usize, rank: RankBy) -> Vec<SweepPoint> {
+        assert!((0.0..=1.0).contains(&frac), "frac out of range");
+        let n = self.g.node_count();
+        let mut alive = vec![true; n];
+        let mut alive_count = n;
+        let mut removed = 0usize;
+        let mut out = Vec::with_capacity(steps + 1);
+        out.push(self.point_from_mask(&alive, 0, 0));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(match rank {
+            RankBy::Random { seed } => seed,
+            RankBy::DegreeIterative => 0,
+        });
+        for _ in 0..steps {
+            if alive_count == 0 {
+                break;
+            }
+            let k = ((alive_count as f64 * frac).round() as usize).max(1).min(alive_count);
+            let victims: Vec<u32> = match rank {
+                RankBy::DegreeIterative => {
+                    // degree within the surviving subgraph
+                    let mut deg = vec![0u32; n];
+                    for (a, b) in self.g.edges() {
+                        if alive[a as usize] && alive[b as usize] {
+                            deg[a as usize] += 1;
+                            deg[b as usize] += 1;
+                        }
+                    }
+                    let mut cands: Vec<u32> =
+                        (0..n as u32).filter(|&v| alive[v as usize]).collect();
+                    cands.sort_by(|&a, &b| {
+                        deg[b as usize].cmp(&deg[a as usize]).then(a.cmp(&b))
+                    });
+                    cands.truncate(k);
+                    cands
+                }
+                RankBy::Random { .. } => {
+                    let mut cands: Vec<u32> =
+                        (0..n as u32).filter(|&v| alive[v as usize]).collect();
+                    cands.shuffle(&mut rng);
+                    cands.truncate(k);
+                    cands
+                }
+            };
+            for v in victims {
+                alive[v as usize] = false;
+            }
+            alive_count -= k;
+            removed += k;
+            out.push(self.point_from_mask(&alive, removed, 0));
+        }
+        out
+    }
+
+    /// Fig. 13a methodology: remove nodes in the fixed `order`, evaluating
+    /// after each prefix length in `checkpoints` (ascending; a checkpoint of
+    /// 0 evaluates the intact graph). Uses reverse union-find, so the whole
+    /// sweep is near-linear — unless SCC counting is enabled, in which case
+    /// each checkpoint additionally pays one Tarjan pass.
+    pub fn ranked(&self, order: &[u32], checkpoints: &[usize]) -> Vec<SweepPoint> {
+        assert!(
+            checkpoints.windows(2).all(|w| w[0] < w[1]),
+            "checkpoints must be strictly ascending"
+        );
+        let boundaries: Vec<usize> = checkpoints
+            .iter()
+            .map(|&c| c.min(order.len()))
+            .collect();
+        self.reverse_sweep(order, &boundaries, None)
+    }
+
+    /// Fig. 13b methodology: remove whole `groups` (e.g. every instance of
+    /// an AS) in order, evaluating after each group. Group `i`'s evaluation
+    /// point has `groups_removed == i + 1`; a leading baseline point with
+    /// nothing removed is included.
+    pub fn grouped(&self, groups: &[Vec<u32>]) -> Vec<SweepPoint> {
+        let mut order = Vec::new();
+        let mut boundaries = vec![0usize];
+        for g in groups {
+            order.extend_from_slice(g);
+            boundaries.push(order.len());
+        }
+        self.reverse_sweep(&order, &boundaries, Some(()))
+    }
+
+    /// Shared reverse-incremental implementation. `boundaries` are removal
+    /// counts (prefix lengths of `order`) at which to evaluate, ascending,
+    /// possibly starting at 0. When `grouped` is set, `groups_removed` is
+    /// the boundary's index.
+    fn reverse_sweep(
+        &self,
+        order: &[u32],
+        boundaries: &[usize],
+        grouped: Option<()>,
+    ) -> Vec<SweepPoint> {
+        let n = self.g.node_count();
+        if boundaries.is_empty() {
+            return Vec::new();
+        }
+        let max_removed = *boundaries.last().unwrap();
+
+        // If SCC counts are requested we fall back to per-checkpoint passes
+        // (Tarjan cannot be run incrementally).
+        let mut scc_counts: Vec<usize> = Vec::new();
+        if self.compute_scc {
+            let mut alive = vec![true; n];
+            for &v in &order[..max_removed] {
+                alive[v as usize] = false;
+            }
+            let mut cursor = max_removed;
+            for &b in boundaries.iter().rev() {
+                while cursor > b {
+                    cursor -= 1;
+                    alive[order[cursor] as usize] = true;
+                }
+                scc_counts.push(strongly_connected(self.g, Some(&alive)).count());
+            }
+            scc_counts.reverse();
+        }
+
+        // Start fully removed at max boundary, then add nodes back.
+        let mut alive = vec![true; n];
+        for &v in &order[..max_removed] {
+            alive[v as usize] = false;
+        }
+        let mut alive_count = alive.iter().filter(|&&a| a).count();
+
+        let mut uf = UnionFind::new(n);
+        let default_w = vec![1.0; 0];
+        let weights = self.weights.as_deref().unwrap_or(&default_w);
+        let mut comp_weight: Vec<f64> = if weights.is_empty() {
+            Vec::new()
+        } else {
+            weights.to_vec() // per-root running weight; index by root
+        };
+        let mut merges = 0usize;
+        let mut max_size = if alive_count > 0 { 1u32 } else { 0 };
+        let mut max_weight: f64 = 0.0;
+
+        // Add edges among initially-alive nodes.
+        for (a, b) in self.g.edges() {
+            if alive[a as usize] && alive[b as usize] {
+                union_alive(
+                    &mut uf,
+                    &mut comp_weight,
+                    a,
+                    b,
+                    &mut merges,
+                    &mut max_size,
+                    &mut max_weight,
+                );
+            }
+        }
+        if !comp_weight.is_empty() {
+            for v in 0..n as u32 {
+                if alive[v as usize] {
+                    let r = uf.find(v);
+                    max_weight = max_weight.max(comp_weight[r as usize]);
+                }
+            }
+        }
+
+        let total_weight = self.total_weight();
+        let mut results: Vec<SweepPoint> = Vec::with_capacity(boundaries.len());
+        let mut cursor = max_removed;
+        for (bi, &b) in boundaries.iter().enumerate().rev() {
+            // Re-add nodes order[b..cursor].
+            while cursor > b {
+                cursor -= 1;
+                let v = order[cursor];
+                alive[v as usize] = true;
+                alive_count += 1;
+                max_size = max_size.max(1);
+                if !comp_weight.is_empty() {
+                    let r = uf.find(v);
+                    max_weight = max_weight.max(comp_weight[r as usize]);
+                }
+                for &w in self.g.out_neighbors(v) {
+                    if alive[w as usize] {
+                        union_alive(
+                            &mut uf,
+                            &mut comp_weight,
+                            v,
+                            w,
+                            &mut merges,
+                            &mut max_size,
+                            &mut max_weight,
+                        );
+                    }
+                }
+                for &w in self.g.in_neighbors(v) {
+                    if alive[w as usize] {
+                        union_alive(
+                            &mut uf,
+                            &mut comp_weight,
+                            v,
+                            w,
+                            &mut merges,
+                            &mut max_size,
+                            &mut max_weight,
+                        );
+                    }
+                }
+            }
+            let lcc_nodes = if alive_count == 0 { 0 } else { max_size };
+            results.push(SweepPoint {
+                removed: b,
+                groups_removed: if grouped.is_some() { bi } else { 0 },
+                lcc_nodes,
+                lcc_node_frac: if n > 0 {
+                    lcc_nodes as f64 / n as f64
+                } else {
+                    0.0
+                },
+                lcc_weight: max_weight,
+                lcc_weight_frac: if total_weight > 0.0 {
+                    max_weight / total_weight
+                } else {
+                    0.0
+                },
+                wcc_count: alive_count - merges,
+                scc_count: if self.compute_scc {
+                    scc_counts[bi]
+                } else {
+                    0
+                },
+            });
+        }
+        results.reverse();
+        results
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A hub-and-spoke graph: node 0 connects to everyone.
+    fn star(n: u32) -> DiGraph {
+        DiGraph::from_edges(n, (1..n).map(|i| (0, i)))
+    }
+
+    #[test]
+    fn iterative_degree_attack_kills_star() {
+        let g = star(11);
+        let sweep = RemovalSweep::new(&g);
+        let pts = sweep.iterative_fraction(0.09, 1, RankBy::DegreeIterative);
+        // baseline: LCC = 11
+        assert_eq!(pts[0].lcc_nodes, 11);
+        assert_eq!(pts[0].wcc_count, 1);
+        // one round removes ceil(0.09 * 11) = 1 node = the hub
+        assert_eq!(pts[1].removed, 1);
+        assert_eq!(pts[1].lcc_nodes, 1);
+        assert_eq!(pts[1].wcc_count, 10);
+    }
+
+    #[test]
+    fn random_removal_is_gentler_than_attack_on_star() {
+        let g = star(101);
+        let sweep = RemovalSweep::new(&g);
+        let atk = sweep.iterative_fraction(0.01, 1, RankBy::DegreeIterative);
+        let rnd = sweep.iterative_fraction(0.01, 1, RankBy::Random { seed: 7 });
+        // attack removes the hub and shatters; random almost surely removes a leaf
+        assert!(atk[1].lcc_nodes < rnd[1].lcc_nodes);
+    }
+
+    #[test]
+    fn ranked_sweep_matches_direct_masking() {
+        // path 0-1-2-3-4 (undirected-ish via WCC)
+        let g = DiGraph::from_edges(5, [(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let order = vec![2u32, 0, 4];
+        let sweep = RemovalSweep::new(&g);
+        let pts = sweep.ranked(&order, &[0, 1, 2, 3]);
+        assert_eq!(pts.len(), 4);
+        // 0 removed: single path, LCC 5
+        assert_eq!(pts[0].lcc_nodes, 5);
+        assert_eq!(pts[0].wcc_count, 1);
+        // remove node 2: {0,1} {3,4}
+        assert_eq!(pts[1].lcc_nodes, 2);
+        assert_eq!(pts[1].wcc_count, 2);
+        // remove node 0 as well: {1} {3,4}
+        assert_eq!(pts[2].lcc_nodes, 2);
+        assert_eq!(pts[2].wcc_count, 2);
+        // remove node 4 too: {1} {3}
+        assert_eq!(pts[3].lcc_nodes, 1);
+        assert_eq!(pts[3].wcc_count, 2);
+    }
+
+    #[test]
+    fn ranked_sweep_weighted_lcc() {
+        let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let weights = vec![10.0, 1.0, 5.0, 5.0];
+        let sweep = RemovalSweep::new(&g).with_weights(weights);
+        let pts = sweep.ranked(&[0], &[0, 1]);
+        // intact: comp {0,1} weight 11 vs {2,3} weight 10 -> 11
+        assert!((pts[0].lcc_weight - 11.0).abs() < 1e-9);
+        assert!((pts[0].lcc_weight_frac - 11.0 / 21.0).abs() < 1e-9);
+        // after removing 0: {1}=1, {2,3}=10 -> 10
+        assert!((pts[1].lcc_weight - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grouped_sweep_reports_group_indices() {
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let groups = vec![vec![1u32, 2], vec![4u32]];
+        let sweep = RemovalSweep::new(&g);
+        let pts = sweep.grouped(&groups);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[0].groups_removed, 0);
+        assert_eq!(pts[0].lcc_nodes, 6);
+        // group 0 removes {1,2}: components {0} {3,4,5}
+        assert_eq!(pts[1].groups_removed, 1);
+        assert_eq!(pts[1].removed, 2);
+        assert_eq!(pts[1].lcc_nodes, 3);
+        assert_eq!(pts[1].wcc_count, 2);
+        // group 1 removes {4}: {0} {3} {5}
+        assert_eq!(pts[2].lcc_nodes, 1);
+        assert_eq!(pts[2].wcc_count, 3);
+    }
+
+    #[test]
+    fn scc_counts_when_enabled() {
+        // 2-cycle {0,1} plus bridge to 2
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 0), (1, 2)]);
+        let sweep = RemovalSweep::new(&g).with_scc(true);
+        let pts = sweep.ranked(&[0], &[0, 1]);
+        assert_eq!(pts[0].scc_count, 2); // {0,1} and {2}
+        assert_eq!(pts[1].scc_count, 2); // {1} and {2}
+        let pts2 = RemovalSweep::new(&g)
+            .with_scc(true)
+            .iterative_fraction(0.4, 1, RankBy::DegreeIterative);
+        assert!(pts2[0].scc_count > 0);
+    }
+
+    #[test]
+    fn checkpoint_beyond_order_clamps() {
+        let g = DiGraph::from_edges(3, [(0, 1), (1, 2)]);
+        let sweep = RemovalSweep::new(&g);
+        let pts = sweep.ranked(&[0, 1], &[0, 5]);
+        assert_eq!(pts[1].removed, 2);
+    }
+
+    #[test]
+    fn empty_checkpoints_empty_result() {
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        let pts = RemovalSweep::new(&g).ranked(&[0], &[]);
+        assert!(pts.is_empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The fast reverse sweep agrees with direct per-checkpoint masking.
+        #[test]
+        fn reverse_equals_direct(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..80),
+            perm_seed in 0u64..1000
+        ) {
+            let g = DiGraph::from_edges(20, edges);
+            // deterministic pseudo-random removal order
+            let mut order: Vec<u32> = (0..20).collect();
+            let mut s = perm_seed;
+            for i in (1..order.len()).rev() {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let j = (s >> 33) as usize % (i + 1);
+                order.swap(i, j);
+            }
+            let weights: Vec<f64> = (0..20).map(|i| (i % 5) as f64 + 1.0).collect();
+            let checkpoints: Vec<usize> = vec![0, 3, 7, 12, 20];
+            let sweep = RemovalSweep::new(&g).with_weights(weights.clone());
+            let fast = sweep.ranked(&order, &checkpoints);
+
+            for (pt, &k) in fast.iter().zip(&checkpoints) {
+                let mut alive = vec![true; 20];
+                for &v in &order[..k.min(order.len())] {
+                    alive[v as usize] = false;
+                }
+                let direct = weakly_connected(&g, Some(&alive));
+                prop_assert_eq!(pt.lcc_nodes, direct.largest(), "k = {}", k);
+                prop_assert_eq!(pt.wcc_count, direct.count(), "k = {}", k);
+                let dw = direct.largest_weight(&weights);
+                prop_assert!((pt.lcc_weight - dw).abs() < 1e-9, "k = {} weight", k);
+            }
+        }
+
+        /// LCC never grows as more nodes are removed along a fixed order.
+        #[test]
+        fn lcc_monotone_decreasing(
+            edges in proptest::collection::vec((0u32..15, 0u32..15), 0..60)
+        ) {
+            let g = DiGraph::from_edges(15, edges);
+            let order: Vec<u32> = (0..15).collect();
+            let checkpoints: Vec<usize> = (0..=15).collect();
+            let pts = RemovalSweep::new(&g).ranked(&order, &checkpoints);
+            for w in pts.windows(2) {
+                prop_assert!(w[1].lcc_nodes <= w[0].lcc_nodes);
+            }
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Disjoint-set union with path compression and union by size.
+
+/// Union-find over `0..n`.
+#[derive(Debug, Clone)]
+pub struct UnionFind {
+    parent: Vec<u32>,
+    size: Vec<u32>,
+    components: usize,
+}
+
+impl UnionFind {
+    /// `n` singleton sets.
+    pub fn new(n: usize) -> Self {
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
+    }
+
+    /// Number of elements.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// Whether the structure is empty.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// Representative of `x`'s set (with path halving).
+    pub fn find(&mut self, mut x: u32) -> u32 {
+        while self.parent[x as usize] != x {
+            let gp = self.parent[self.parent[x as usize] as usize];
+            self.parent[x as usize] = gp;
+            x = gp;
+        }
+        x
+    }
+
+    /// Merge the sets of `a` and `b`; returns `true` if they were distinct.
+    pub fn union(&mut self, a: u32, b: u32) -> bool {
+        let (mut ra, mut rb) = (self.find(a), self.find(b));
+        if ra == rb {
+            return false;
+        }
+        if self.size[ra as usize] < self.size[rb as usize] {
+            std::mem::swap(&mut ra, &mut rb);
+        }
+        self.parent[rb as usize] = ra;
+        self.size[ra as usize] += self.size[rb as usize];
+        self.components -= 1;
+        true
+    }
+
+    /// Are `a` and `b` in the same set?
+    pub fn connected(&mut self, a: u32, b: u32) -> bool {
+        self.find(a) == self.find(b)
+    }
+
+    /// Size of the set containing `x`.
+    pub fn size_of(&mut self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.size[r as usize]
+    }
+
+    /// Total number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.components
+    }
+
+    /// Size of the largest set (0 when empty).
+    pub fn largest(&mut self) -> u32 {
+        let n = self.len() as u32;
+        let mut best = 0;
+        for x in 0..n {
+            if self.find(x) == x {
+                best = best.max(self.size[x as usize]);
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons() {
+        let mut uf = UnionFind::new(5);
+        assert_eq!(uf.component_count(), 5);
+        assert_eq!(uf.size_of(3), 1);
+        assert!(!uf.connected(0, 1));
+    }
+
+    #[test]
+    fn union_merges() {
+        let mut uf = UnionFind::new(4);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.connected(0, 1));
+        assert_eq!(uf.component_count(), 3);
+        assert_eq!(uf.size_of(0), 2);
+    }
+
+    #[test]
+    fn transitive_connection() {
+        let mut uf = UnionFind::new(6);
+        uf.union(0, 1);
+        uf.union(2, 3);
+        uf.union(1, 2);
+        assert!(uf.connected(0, 3));
+        assert_eq!(uf.size_of(3), 4);
+        assert_eq!(uf.largest(), 4);
+        assert_eq!(uf.component_count(), 3); // {0,1,2,3} {4} {5}
+    }
+
+    #[test]
+    fn empty_structure() {
+        let mut uf = UnionFind::new(0);
+        assert!(uf.is_empty());
+        assert_eq!(uf.component_count(), 0);
+        assert_eq!(uf.largest(), 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// component_count + merges == n, and find is idempotent.
+        #[test]
+        fn count_invariant(edges in proptest::collection::vec((0u32..50, 0u32..50), 0..100)) {
+            let mut uf = UnionFind::new(50);
+            let mut merges = 0;
+            for &(a, b) in &edges {
+                if uf.union(a, b) {
+                    merges += 1;
+                }
+            }
+            prop_assert_eq!(uf.component_count(), 50 - merges);
+            for x in 0..50u32 {
+                let r = uf.find(x);
+                prop_assert_eq!(uf.find(r), r);
+            }
+            // sizes of roots sum to n
+            let mut total = 0u32;
+            for x in 0..50u32 {
+                if uf.find(x) == x {
+                    total += uf.size_of(x);
+                }
+            }
+            prop_assert_eq!(total, 50);
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! TLS certificates and certificate authorities (Fig. 9).
+//!
+//! Mastodon uses HTTPS by default; the paper finds Let's Encrypt behind more
+//! than 85% of instances and attributes 6.3% of observed outages to expired
+//! certificates — most dramatically a bulk expiry taking 105 instances down
+//! on the same day (23 July 2018, the 90-day Let's Encrypt policy expiring a
+//! cohort simultaneously).
+
+use crate::time::Day;
+use serde::{Deserialize, Serialize};
+
+/// Certificate authorities observed in Fig. 9(a), plus a tail bucket.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum CertificateAuthority {
+    LetsEncrypt,
+    Comodo,
+    Amazon,
+    Cloudflare,
+    DigiCert,
+    Other,
+}
+
+impl CertificateAuthority {
+    /// All CAs in Fig. 9(a) order.
+    pub const ALL: [CertificateAuthority; 6] = [
+        CertificateAuthority::LetsEncrypt,
+        CertificateAuthority::Comodo,
+        CertificateAuthority::Amazon,
+        CertificateAuthority::Cloudflare,
+        CertificateAuthority::DigiCert,
+        CertificateAuthority::Other,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CertificateAuthority::LetsEncrypt => "Let's Encrypt",
+            CertificateAuthority::Comodo => "COMODO",
+            CertificateAuthority::Amazon => "Amazon",
+            CertificateAuthority::Cloudflare => "CloudFlare",
+            CertificateAuthority::DigiCert => "DigiCert",
+            CertificateAuthority::Other => "Other",
+        }
+    }
+
+    /// Certificate validity period issued by this CA, in days.
+    ///
+    /// Let's Encrypt certificates live 90 days ("the Let's Encrypt CA short
+    /// expiry policy (90 days)"); commercial CAs of the era issued 1-year
+    /// (and longer) certificates.
+    pub fn validity_days(self) -> u32 {
+        match self {
+            CertificateAuthority::LetsEncrypt => 90,
+            _ => 365,
+        }
+    }
+}
+
+/// A certificate installed on an instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Certificate {
+    /// Issuing CA.
+    pub ca: CertificateAuthority,
+    /// Day (window-relative; may notionally pre-date the window as day 0) the
+    /// current certificate chain started.
+    pub issued: Day,
+    /// Whether the administrator configured automated renewal. Instances
+    /// without it go down when the certificate expires, until a human
+    /// notices.
+    pub auto_renew: bool,
+}
+
+impl Certificate {
+    /// Expiry day of the certificate issued on `issued`.
+    pub fn expires(&self) -> Day {
+        Day(self.issued.0 + self.ca.validity_days())
+    }
+
+    /// Days in the window on which this certificate chain *lapses*, assuming
+    /// the admin manually renews `lapse_fix_days` after each expiry-outage
+    /// begins. With `auto_renew` the list is empty.
+    ///
+    /// `horizon` bounds the simulation (typically [`crate::time::WINDOW_DAYS`]).
+    pub fn lapse_days(&self, lapse_fix_days: u32, horizon: u32) -> Vec<Day> {
+        if self.auto_renew {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let period = self.ca.validity_days() + lapse_fix_days;
+        let mut expiry = self.expires().0;
+        while expiry < horizon {
+            out.push(Day(expiry));
+            expiry += period;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lets_encrypt_is_90_days() {
+        assert_eq!(CertificateAuthority::LetsEncrypt.validity_days(), 90);
+        assert_eq!(CertificateAuthority::DigiCert.validity_days(), 365);
+    }
+
+    #[test]
+    fn expiry_day_offsets_by_validity() {
+        let c = Certificate {
+            ca: CertificateAuthority::LetsEncrypt,
+            issued: Day(10),
+            auto_renew: true,
+        };
+        assert_eq!(c.expires(), Day(100));
+    }
+
+    #[test]
+    fn auto_renew_never_lapses() {
+        let c = Certificate {
+            ca: CertificateAuthority::LetsEncrypt,
+            issued: Day(0),
+            auto_renew: true,
+        };
+        assert!(c.lapse_days(3, 472).is_empty());
+    }
+
+    #[test]
+    fn manual_renewal_lapses_periodically() {
+        let c = Certificate {
+            ca: CertificateAuthority::LetsEncrypt,
+            issued: Day(0),
+            auto_renew: false,
+        };
+        // expiry at 90, fixed after 3 days -> next issue at 93, expiry 183...
+        let lapses = c.lapse_days(3, 472);
+        assert_eq!(lapses, vec![Day(90), Day(183), Day(276), Day(369), Day(462)]);
+    }
+
+    #[test]
+    fn lapses_respect_horizon() {
+        let c = Certificate {
+            ca: CertificateAuthority::Comodo,
+            issued: Day(0),
+            auto_renew: false,
+        };
+        let lapses = c.lapse_days(5, 400);
+        assert_eq!(lapses, vec![Day(365)]);
+        assert!(c.lapse_days(5, 300).is_empty());
+    }
+
+    #[test]
+    fn ca_names() {
+        assert_eq!(CertificateAuthority::LetsEncrypt.name(), "Let's Encrypt");
+        assert_eq!(CertificateAuthority::ALL.len(), 6);
+    }
+}

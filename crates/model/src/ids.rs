@@ -1,0 +1,89 @@
+//! Newtype identifiers.
+//!
+//! All populations are dense and index-addressed: `InstanceId(7)` is row 7 of
+//! `World::instances`. The newtypes prevent the classic bug of indexing the
+//! user table with an instance id.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of an instance (dense index into the instance table).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct InstanceId(pub u32);
+
+/// Identifier of a user account (dense index into the user table).
+///
+/// Per the paper, accounts are identified *per instance*: the same human with
+/// accounts on two instances appears as two `UserId`s ("it is impossible to
+/// infer if such accounts are owned by the same person and therefore we treat
+/// them as separate nodes", §3).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct UserId(pub u32);
+
+/// An Autonomous System number.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct AsId(pub u32);
+
+impl InstanceId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl UserId {
+    /// The raw index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Display for InstanceId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "inst#{}", self.0)
+    }
+}
+
+impl std::fmt::Display for UserId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "user#{}", self.0)
+    }
+}
+
+impl std::fmt::Display for AsId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "AS{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(InstanceId(3).to_string(), "inst#3");
+        assert_eq!(UserId(9).to_string(), "user#9");
+        assert_eq!(AsId(9370).to_string(), "AS9370");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(InstanceId(1) < InstanceId(2));
+        assert!(UserId(0) < UserId(10));
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let id = InstanceId(42);
+        let json = serde_json::to_string(&id).unwrap();
+        assert_eq!(json, "42");
+        let back: InstanceId = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, id);
+    }
+}

@@ -1,0 +1,403 @@
+//! Per-instance availability schedules.
+//!
+//! The mnm.social feed is, per instance, a 15-month boolean time series at
+//! 5-minute resolution (≈0.5B points in total). We store the equivalent
+//! information sparsely: the instance's lifetime (creation day, optional
+//! permanent retirement — the paper observes 21.3% of instances go offline
+//! and never return) plus a sorted, non-overlapping list of [`Outage`]
+//! intervals. Every derived quantity the paper uses (downtime fraction,
+//! per-day downtime, continuous outage durations) is computed from this.
+//!
+//! Outages carry a ground-truth [`OutageCause`] so integration tests can
+//! check that the *monitor* (which never sees causes) attributes failures
+//! correctly.
+
+use crate::time::{Day, Epoch, EPOCHS_PER_DAY, WINDOW_EPOCHS};
+use serde::{Deserialize, Serialize};
+
+/// Why an outage happened (ground truth; hidden from the measurement side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OutageCause {
+    /// Operator-level failure: crashed process, botched upgrade, unpaid bill…
+    Organic,
+    /// TLS certificate expired and nobody renewed it in time (Fig. 9b).
+    CertExpiry,
+    /// The hosting AS suffered a network-wide failure (Table 1).
+    AsFailure,
+}
+
+/// A continuous unavailability interval `[start, end)` in epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Outage {
+    /// First unavailable epoch.
+    pub start: Epoch,
+    /// First available epoch after the outage.
+    pub end: Epoch,
+    /// Ground-truth cause.
+    pub cause: OutageCause,
+}
+
+impl Outage {
+    /// Length in epochs.
+    pub fn len_epochs(&self) -> u32 {
+        self.end.0.saturating_sub(self.start.0)
+    }
+
+    /// Length in fractional days.
+    pub fn len_days(&self) -> f64 {
+        self.len_epochs() as f64 / EPOCHS_PER_DAY as f64
+    }
+}
+
+/// The availability history of one instance over the measurement window.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AvailabilitySchedule {
+    /// Day the instance first appeared.
+    pub created: Day,
+    /// Day the instance permanently disappeared, if it did.
+    pub retired: Option<Day>,
+    outages: Vec<Outage>,
+}
+
+impl AvailabilitySchedule {
+    /// A schedule for an instance alive (and outage-free) for the whole window.
+    pub fn always_up() -> Self {
+        Self {
+            created: Day(0),
+            retired: None,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Create an empty schedule with a lifetime.
+    pub fn new(created: Day, retired: Option<Day>) -> Self {
+        if let Some(r) = retired {
+            assert!(r.0 >= created.0, "retired before created");
+        }
+        Self {
+            created,
+            retired,
+            outages: Vec::new(),
+        }
+    }
+
+    /// First epoch of existence.
+    pub fn birth_epoch(&self) -> Epoch {
+        self.created.start_epoch()
+    }
+
+    /// One-past-the-end epoch of existence (window end if not retired).
+    pub fn death_epoch(&self) -> Epoch {
+        self.retired
+            .map(|d| d.start_epoch())
+            .unwrap_or(Epoch(WINDOW_EPOCHS))
+    }
+
+    /// Lifetime length in epochs.
+    pub fn lifetime_epochs(&self) -> u32 {
+        self.death_epoch().0.saturating_sub(self.birth_epoch().0)
+    }
+
+    /// Add an outage, clipping it to the instance lifetime and merging with
+    /// any overlapping/adjacent existing outage. When merged intervals have
+    /// different causes the earliest-starting cause wins (a pragmatic rule;
+    /// cause mixing is rare in generated schedules).
+    pub fn add_outage(&mut self, start: Epoch, end: Epoch, cause: OutageCause) {
+        let lo = self.birth_epoch().0.max(start.0);
+        let hi = self.death_epoch().0.min(end.0).min(WINDOW_EPOCHS);
+        if lo >= hi {
+            return; // outside lifetime or empty
+        }
+        let mut new = Outage {
+            start: Epoch(lo),
+            end: Epoch(hi),
+            cause,
+        };
+        // Find insertion window of overlapping-or-adjacent outages.
+        let mut i = 0;
+        let mut j = 0;
+        for (k, o) in self.outages.iter().enumerate() {
+            if o.end.0 < new.start.0 {
+                i = k + 1;
+                j = k + 1;
+            } else if o.start.0 <= new.end.0 {
+                j = k + 1;
+            } else {
+                break;
+            }
+        }
+        for o in &self.outages[i..j] {
+            if o.start.0 < new.start.0 {
+                new.cause = o.cause;
+                new.start = o.start;
+            }
+            if o.end.0 > new.end.0 {
+                new.end = o.end;
+            }
+        }
+        self.outages.splice(i..j, std::iter::once(new));
+    }
+
+    /// The outage list (sorted, non-overlapping, clipped to lifetime).
+    pub fn outages(&self) -> &[Outage] {
+        &self.outages
+    }
+
+    /// Does the instance exist (created, not retired) at `t`?
+    pub fn exists_at(&self, t: Epoch) -> bool {
+        t >= self.birth_epoch() && t < self.death_epoch()
+    }
+
+    /// Is the instance reachable at `t`? (exists and not in an outage)
+    pub fn is_up(&self, t: Epoch) -> bool {
+        if !self.exists_at(t) {
+            return false;
+        }
+        // binary search: last outage with start <= t
+        let idx = self.outages.partition_point(|o| o.start.0 <= t.0);
+        if idx == 0 {
+            return true;
+        }
+        let o = &self.outages[idx - 1];
+        t.0 >= o.end.0
+    }
+
+    /// Number of down epochs within `[from, to)`, counting only epochs where
+    /// the instance exists.
+    pub fn down_epochs_in(&self, from: Epoch, to: Epoch) -> u32 {
+        let lo = from.0.max(self.birth_epoch().0);
+        let hi = to.0.min(self.death_epoch().0);
+        if lo >= hi {
+            return 0;
+        }
+        let mut down = 0;
+        for o in &self.outages {
+            if o.end.0 <= lo {
+                continue;
+            }
+            if o.start.0 >= hi {
+                break;
+            }
+            down += o.end.0.min(hi) - o.start.0.max(lo);
+        }
+        down
+    }
+
+    /// Number of existing epochs within `[from, to)`.
+    pub fn live_epochs_in(&self, from: Epoch, to: Epoch) -> u32 {
+        let lo = from.0.max(self.birth_epoch().0);
+        let hi = to.0.min(self.death_epoch().0);
+        hi.saturating_sub(lo)
+    }
+
+    /// Lifetime downtime fraction (0 for instances with zero lifetime).
+    pub fn downtime_fraction(&self) -> f64 {
+        let life = self.lifetime_epochs();
+        if life == 0 {
+            return 0.0;
+        }
+        self.down_epochs_in(self.birth_epoch(), self.death_epoch()) as f64 / life as f64
+    }
+
+    /// Downtime fraction for one day; `None` if the instance does not exist
+    /// for any part of that day.
+    pub fn daily_downtime(&self, day: Day) -> Option<f64> {
+        let live = self.live_epochs_in(day.start_epoch(), day.end_epoch());
+        if live == 0 {
+            return None;
+        }
+        let down = self.down_epochs_in(day.start_epoch(), day.end_epoch());
+        Some(down as f64 / live as f64)
+    }
+
+    /// Whether the instance is down for the entirety of `day`.
+    pub fn down_whole_day(&self, day: Day) -> bool {
+        self.daily_downtime(day) == Some(1.0)
+    }
+
+    /// Total number of distinct outages.
+    pub fn outage_count(&self) -> usize {
+        self.outages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sched() -> AvailabilitySchedule {
+        AvailabilitySchedule::new(Day(0), None)
+    }
+
+    #[test]
+    fn fresh_schedule_is_up_everywhere() {
+        let s = sched();
+        assert!(s.is_up(Epoch(0)));
+        assert!(s.is_up(Epoch(WINDOW_EPOCHS - 1)));
+        assert_eq!(s.downtime_fraction(), 0.0);
+    }
+
+    #[test]
+    fn outage_marks_down() {
+        let mut s = sched();
+        s.add_outage(Epoch(100), Epoch(200), OutageCause::Organic);
+        assert!(s.is_up(Epoch(99)));
+        assert!(!s.is_up(Epoch(100)));
+        assert!(!s.is_up(Epoch(199)));
+        assert!(s.is_up(Epoch(200)));
+        assert_eq!(s.outage_count(), 1);
+        assert_eq!(s.down_epochs_in(Epoch(0), Epoch(1000)), 100);
+    }
+
+    #[test]
+    fn overlapping_outages_merge() {
+        let mut s = sched();
+        s.add_outage(Epoch(100), Epoch(200), OutageCause::Organic);
+        s.add_outage(Epoch(150), Epoch(250), OutageCause::AsFailure);
+        assert_eq!(s.outage_count(), 1);
+        let o = s.outages()[0];
+        assert_eq!((o.start, o.end), (Epoch(100), Epoch(250)));
+        // earliest-start cause wins
+        assert_eq!(o.cause, OutageCause::Organic);
+    }
+
+    #[test]
+    fn touching_outages_merge() {
+        let mut s = sched();
+        s.add_outage(Epoch(100), Epoch(200), OutageCause::Organic);
+        s.add_outage(Epoch(200), Epoch(300), OutageCause::Organic);
+        assert_eq!(s.outage_count(), 1);
+        assert_eq!(s.outages()[0].len_epochs(), 200);
+    }
+
+    #[test]
+    fn disjoint_outages_stay_separate() {
+        let mut s = sched();
+        s.add_outage(Epoch(300), Epoch(400), OutageCause::Organic);
+        s.add_outage(Epoch(100), Epoch(200), OutageCause::CertExpiry);
+        assert_eq!(s.outage_count(), 2);
+        assert_eq!(s.outages()[0].start, Epoch(100));
+        assert_eq!(s.outages()[1].start, Epoch(300));
+    }
+
+    #[test]
+    fn outage_clipped_to_lifetime() {
+        let mut s = AvailabilitySchedule::new(Day(10), Some(Day(20)));
+        s.add_outage(Epoch(0), Epoch(WINDOW_EPOCHS), OutageCause::Organic);
+        assert_eq!(s.outage_count(), 1);
+        let o = s.outages()[0];
+        assert_eq!(o.start, Day(10).start_epoch());
+        assert_eq!(o.end, Day(20).start_epoch());
+        assert_eq!(s.downtime_fraction(), 1.0);
+    }
+
+    #[test]
+    fn existence_bounds() {
+        let s = AvailabilitySchedule::new(Day(10), Some(Day(20)));
+        assert!(!s.exists_at(Epoch(0)));
+        assert!(!s.is_up(Epoch(0)));
+        assert!(s.is_up(Day(10).start_epoch()));
+        assert!(s.is_up(Epoch(Day(20).start_epoch().0 - 1)));
+        assert!(!s.exists_at(Day(20).start_epoch()));
+    }
+
+    #[test]
+    fn daily_downtime_accounting() {
+        let mut s = sched();
+        // Half of day 1 down.
+        let d1 = Day(1);
+        s.add_outage(
+            d1.start_epoch(),
+            Epoch(d1.start_epoch().0 + EPOCHS_PER_DAY / 2),
+            OutageCause::Organic,
+        );
+        assert_eq!(s.daily_downtime(Day(0)), Some(0.0));
+        assert_eq!(s.daily_downtime(d1), Some(0.5));
+        assert!(!s.down_whole_day(d1));
+    }
+
+    #[test]
+    fn daily_downtime_none_before_creation() {
+        let s = AvailabilitySchedule::new(Day(5), None);
+        assert_eq!(s.daily_downtime(Day(4)), None);
+        assert_eq!(s.daily_downtime(Day(5)), Some(0.0));
+    }
+
+    #[test]
+    fn whole_day_outage_detected() {
+        let mut s = sched();
+        s.add_outage(Day(3).start_epoch(), Day(5).start_epoch(), OutageCause::Organic);
+        assert!(s.down_whole_day(Day(3)));
+        assert!(s.down_whole_day(Day(4)));
+        assert!(!s.down_whole_day(Day(5)));
+    }
+
+    #[test]
+    fn downtime_fraction_matches_hand_count() {
+        let mut s = AvailabilitySchedule::new(Day(0), Some(Day(10)));
+        s.add_outage(Epoch(0), Epoch(288), OutageCause::Organic); // 1 day of 10
+        assert!((s.downtime_fraction() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_length_outage_ignored() {
+        let mut s = sched();
+        s.add_outage(Epoch(5), Epoch(5), OutageCause::Organic);
+        assert_eq!(s.outage_count(), 0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// Reference implementation: dense boolean array.
+    fn dense(s: &AvailabilitySchedule, n: u32) -> Vec<bool> {
+        (0..n).map(|e| s.is_up(Epoch(e))).collect()
+    }
+
+    proptest! {
+        /// After arbitrary outage insertion the interval list is sorted,
+        /// non-overlapping, non-adjacent, and agrees with a dense rebuild.
+        #[test]
+        fn interval_invariants(
+            ivs in proptest::collection::vec((0u32..2000, 0u32..2000), 0..40)
+        ) {
+            let mut s = AvailabilitySchedule::new(Day(0), None);
+            let mut reference = vec![true; 2048];
+            for &(a, b) in &ivs {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                s.add_outage(Epoch(lo), Epoch(hi), OutageCause::Organic);
+                for e in lo..hi {
+                    reference[e as usize] = false;
+                }
+            }
+            // sorted + gaps between outages
+            for w in s.outages().windows(2) {
+                prop_assert!(w[0].end.0 < w[1].start.0, "not separated: {w:?}");
+            }
+            // dense equivalence
+            let got = dense(&s, 2048);
+            prop_assert_eq!(got, reference);
+        }
+
+        /// down + up epochs == live epochs over any range.
+        #[test]
+        fn conservation(
+            ivs in proptest::collection::vec((0u32..2000, 0u32..2000), 0..20),
+            from in 0u32..2000, to in 0u32..2000
+        ) {
+            let mut s = AvailabilitySchedule::new(Day(0), None);
+            for &(a, b) in &ivs {
+                let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                s.add_outage(Epoch(lo), Epoch(hi), OutageCause::Organic);
+            }
+            let (f, t) = if from <= to { (from, to) } else { (to, from) };
+            let down = s.down_epochs_in(Epoch(f), Epoch(t));
+            let live = s.live_epochs_in(Epoch(f), Epoch(t));
+            let up = (f..t).filter(|&e| s.is_up(Epoch(e))).count() as u32;
+            prop_assert_eq!(down + up, live);
+        }
+    }
+}

@@ -1,0 +1,69 @@
+//! User accounts.
+//!
+//! Accounts are per-instance (the paper treats same-named accounts on
+//! different instances as distinct nodes). Only a subset of accounts ever
+//! toot: the study crawled 239K tooting users but induced a follower graph
+//! of 853K accounts.
+
+use crate::ids::{InstanceId, UserId};
+use serde::{Deserialize, Serialize};
+
+/// One user account.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UserProfile {
+    /// Dense identifier.
+    pub id: UserId,
+    /// The instance the account is registered on.
+    pub instance: InstanceId,
+    /// Lifetime toot count (0 for the silent majority).
+    pub toot_count: u32,
+    /// Probability the user logs in during a given week (drives Fig. 2c).
+    pub weekly_login_prob: f32,
+}
+
+impl UserProfile {
+    /// Has this account ever posted? (the toot-crawl only discovers these)
+    pub fn has_tooted(&self) -> bool {
+        self.toot_count > 0
+    }
+
+    /// Account handle, unique per instance.
+    pub fn handle(&self) -> String {
+        format!("u{}", self.id.0)
+    }
+
+    /// Fully qualified `user@domain`-style address given the domain.
+    pub fn address(&self, domain: &str) -> String {
+        format!("{}@{}", self.handle(), domain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tooting_detection() {
+        let mut u = UserProfile {
+            id: UserId(1),
+            instance: InstanceId(0),
+            toot_count: 0,
+            weekly_login_prob: 0.5,
+        };
+        assert!(!u.has_tooted());
+        u.toot_count = 3;
+        assert!(u.has_tooted());
+    }
+
+    #[test]
+    fn addressing() {
+        let u = UserProfile {
+            id: UserId(7),
+            instance: InstanceId(2),
+            toot_count: 1,
+            weekly_login_prob: 0.1,
+        };
+        assert_eq!(u.handle(), "u7");
+        assert_eq!(u.address("mstdn.example"), "u7@mstdn.example");
+    }
+}

@@ -1,0 +1,221 @@
+//! Per-day downtime by instance size (Fig. 8).
+//!
+//! The figure pools instance-day downtime percentages into four toot-count
+//! bins (`<10K`, `10K–100K`, `100K–1M`, `>1M`) and draws box plots, next to
+//! Twitter's 2007 per-day downtime. The paper's punchline: the correlation
+//! between size and downtime is ≈ −0.04 — "instance popularity is not a
+//! good predictor of availability".
+
+use fediscope_model::instance::Instance;
+use fediscope_model::schedule::AvailabilitySchedule;
+use fediscope_model::time::{Day, WINDOW_DAYS};
+use fediscope_stats::{pearson, BoxStats};
+
+/// The four Fig. 8 size bins.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SizeBin {
+    /// Fewer than 10K toots.
+    Small,
+    /// 10K–100K toots.
+    Medium,
+    /// 100K–1M toots.
+    Large,
+    /// More than 1M toots.
+    Huge,
+}
+
+impl SizeBin {
+    /// All bins in figure order.
+    pub const ALL: [SizeBin; 4] = [SizeBin::Small, SizeBin::Medium, SizeBin::Large, SizeBin::Huge];
+
+    /// Classify a toot count.
+    pub fn of(toots: u64) -> SizeBin {
+        match toots {
+            0..=9_999 => SizeBin::Small,
+            10_000..=99_999 => SizeBin::Medium,
+            100_000..=999_999 => SizeBin::Large,
+            _ => SizeBin::Huge,
+        }
+    }
+
+    /// Figure label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SizeBin::Small => "<10K",
+            SizeBin::Medium => "10K - 100K",
+            SizeBin::Large => "100K - 1M",
+            SizeBin::Huge => ">1M",
+        }
+    }
+}
+
+/// Pooled per-day downtime samples per bin, plus overall.
+#[derive(Debug, Clone)]
+pub struct DailyDowntime {
+    /// `(bin, samples)` in figure order; samples are instance-day downtime
+    /// fractions.
+    pub per_bin: Vec<(SizeBin, Vec<f64>)>,
+    /// All Mastodon samples pooled.
+    pub overall: Vec<f64>,
+}
+
+impl DailyDowntime {
+    /// Box stats per bin (None for empty bins).
+    pub fn box_stats(&self) -> Vec<(SizeBin, Option<BoxStats>)> {
+        self.per_bin
+            .iter()
+            .map(|(bin, samples)| (*bin, BoxStats::of(samples)))
+            .collect()
+    }
+
+    /// Mean of the pooled samples.
+    pub fn mean(&self) -> f64 {
+        if self.overall.is_empty() {
+            return 0.0;
+        }
+        self.overall.iter().sum::<f64>() / self.overall.len() as f64
+    }
+}
+
+/// Collect instance-day downtime samples. `day_stride` subsamples days
+/// (1 = every day) to bound memory at full scale.
+pub fn daily_downtime(
+    instances: &[Instance],
+    schedules: &[AvailabilitySchedule],
+    day_stride: u32,
+) -> DailyDowntime {
+    assert!(day_stride >= 1);
+    let mut per_bin: Vec<(SizeBin, Vec<f64>)> =
+        SizeBin::ALL.iter().map(|&b| (b, Vec::new())).collect();
+    let mut overall = Vec::new();
+    for (inst, sched) in instances.iter().zip(schedules) {
+        let bin = SizeBin::of(inst.toot_count);
+        let slot = per_bin.iter_mut().find(|(b, _)| *b == bin).unwrap();
+        let mut d = 0;
+        while d < WINDOW_DAYS {
+            if let Some(frac) = sched.daily_downtime(Day(d)) {
+                slot.1.push(frac);
+                overall.push(frac);
+            }
+            d += day_stride;
+        }
+    }
+    DailyDowntime { per_bin, overall }
+}
+
+/// The size-vs-downtime correlation across instances (paper: ≈ −0.04).
+pub fn size_downtime_correlation(
+    instances: &[Instance],
+    schedules: &[AvailabilitySchedule],
+) -> Option<f64> {
+    let mut toots = Vec::new();
+    let mut down = Vec::new();
+    for (inst, sched) in instances.iter().zip(schedules) {
+        if sched.lifetime_epochs() == 0 {
+            continue;
+        }
+        toots.push(inst.toot_count as f64);
+        down.push(sched.downtime_fraction());
+    }
+    pearson(&toots, &down)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_model::schedule::OutageCause;
+    use fediscope_model::time::Epoch;
+
+    #[test]
+    fn bin_classification() {
+        assert_eq!(SizeBin::of(0), SizeBin::Small);
+        assert_eq!(SizeBin::of(9_999), SizeBin::Small);
+        assert_eq!(SizeBin::of(10_000), SizeBin::Medium);
+        assert_eq!(SizeBin::of(500_000), SizeBin::Large);
+        assert_eq!(SizeBin::of(2_000_000), SizeBin::Huge);
+        assert_eq!(SizeBin::ALL.len(), 4);
+    }
+
+    fn mk_inst(i: u32, toots: u64) -> Instance {
+        use fediscope_model::certs::{Certificate, CertificateAuthority};
+        use fediscope_model::geo::Country;
+        use fediscope_model::ids::{AsId, InstanceId};
+        use fediscope_model::instance::{OperatorKind, Registration, Software};
+        use fediscope_model::taxonomy::{CategorySet, PolicySet};
+        use fediscope_model::time::Day;
+        Instance {
+            id: InstanceId(i),
+            domain: format!("i{i}"),
+            software: Software::Mastodon,
+            registration: Registration::Open,
+            declares_categories: false,
+            categories: CategorySet::empty(),
+            policies: PolicySet::unstated(),
+            country: Country::Japan,
+            asn: AsId(1),
+            provider_index: 0,
+            ip: i,
+            certificate: Certificate {
+                ca: CertificateAuthority::LetsEncrypt,
+                issued: Day(0),
+                auto_renew: true,
+            },
+            created: Day(0),
+            operator: OperatorKind::Individual,
+            user_count: 1,
+            toot_count: toots,
+            boosted_toots: 0,
+            active_user_pct: 50.0,
+            crawl_allowed: true,
+            private_toot_frac: 0.0,
+        }
+    }
+
+    #[test]
+    fn samples_land_in_right_bins() {
+        let instances = vec![mk_inst(0, 100), mk_inst(1, 50_000)];
+        let mut bad = AvailabilitySchedule::always_up();
+        bad.add_outage(Epoch(0), Day(1).start_epoch(), OutageCause::Organic);
+        let schedules = vec![bad, AvailabilitySchedule::always_up()];
+        let dd = daily_downtime(&instances, &schedules, 1);
+        let small = &dd.per_bin.iter().find(|(b, _)| *b == SizeBin::Small).unwrap().1;
+        let medium = &dd.per_bin.iter().find(|(b, _)| *b == SizeBin::Medium).unwrap().1;
+        assert_eq!(small.len(), WINDOW_DAYS as usize);
+        assert_eq!(medium.len(), WINDOW_DAYS as usize);
+        // the small instance was down on day 0
+        assert_eq!(small[0], 1.0);
+        assert_eq!(small[1], 0.0);
+        assert!(medium.iter().all(|&x| x == 0.0));
+        assert_eq!(dd.overall.len(), 2 * WINDOW_DAYS as usize);
+    }
+
+    #[test]
+    fn stride_subsamples() {
+        let instances = vec![mk_inst(0, 100)];
+        let schedules = vec![AvailabilitySchedule::always_up()];
+        let dd = daily_downtime(&instances, &schedules, 7);
+        assert_eq!(dd.overall.len(), WINDOW_DAYS.div_ceil(7) as usize);
+    }
+
+    #[test]
+    fn correlation_none_for_uniform() {
+        // identical downtime everywhere -> zero variance -> None
+        let instances = vec![mk_inst(0, 10), mk_inst(1, 1000)];
+        let schedules = vec![
+            AvailabilitySchedule::always_up(),
+            AvailabilitySchedule::always_up(),
+        ];
+        assert_eq!(size_downtime_correlation(&instances, &schedules), None);
+    }
+
+    #[test]
+    fn correlation_detects_relationship() {
+        let instances = vec![mk_inst(0, 10), mk_inst(1, 100_000)];
+        let mut bad = AvailabilitySchedule::always_up();
+        bad.add_outage(Epoch(0), Day(100).start_epoch(), OutageCause::Organic);
+        // big instance down a lot -> positive correlation
+        let schedules = vec![AvailabilitySchedule::always_up(), bad];
+        let c = size_downtime_correlation(&instances, &schedules).unwrap();
+        assert!(c > 0.9);
+    }
+}

@@ -1,0 +1,24 @@
+//! # fediscope-monitor
+//!
+//! Availability analytics over monitoring data — the §4.4 machinery:
+//!
+//! - [`observe`]: reconstruct outage schedules from raw poll series (what a
+//!   measurement sees) so every analysis runs identically on ground truth
+//!   and on crawled data,
+//! - [`downtime`]: lifetime downtime distributions and the unavailable
+//!   users/toots exposure (Fig. 7),
+//! - [`daily`]: per-day downtime by instance size bin, vs Twitter (Fig. 8),
+//! - [`outages`]: continuous-outage durations and worst-day impact
+//!   (Fig. 10),
+//! - [`asn`]: AS-wide co-failure detection (Table 1),
+//! - [`certs`]: certificate-expiry attribution (Fig. 9).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asn;
+pub mod certs;
+pub mod daily;
+pub mod downtime;
+pub mod observe;
+pub mod outages;

@@ -1,0 +1,146 @@
+//! Reconstructing availability schedules from raw poll series.
+//!
+//! The monitor only sees poll outcomes at 5-minute ticks; this module turns
+//! a tick series back into outage intervals so the downstream analytics are
+//! agnostic about whether they run on ground truth or on measurements. All
+//! reconstructed outages carry [`OutageCause::Organic`] — a measurement
+//! cannot observe causes (attribution is a separate, inference step in
+//! [`crate::certs`] and [`crate::asn`]).
+
+use fediscope_model::datasets::ObservedSeries;
+use fediscope_model::schedule::{AvailabilitySchedule, OutageCause};
+use fediscope_model::time::{Day, Epoch};
+
+/// Rebuild a schedule from a poll series.
+///
+/// Semantics: a run of consecutive `Down` polls becomes one outage spanning
+/// from the first down poll to the next up poll (exclusive). The instance's
+/// lifetime is taken as `[first poll day, one-past-last poll day)`; a series
+/// that *ends* down is treated as retired at its last up poll (the paper
+/// excludes "persistently failed instances" from outage statistics).
+pub fn schedule_from_polls(series: &ObservedSeries) -> Option<AvailabilitySchedule> {
+    if series.polls.is_empty() {
+        return None;
+    }
+    let first = series.polls.first().unwrap().0;
+    let last = series.polls.last().unwrap().0;
+
+    // Find the last up poll to decide retirement.
+    let last_up = series
+        .polls
+        .iter()
+        .rev()
+        .find(|(_, r)| r.is_up())
+        .map(|(e, _)| *e);
+    let (lifetime_end, retired) = match last_up {
+        // never seen up: degenerate; treat as retired immediately
+        None => (first, Some(first.day())),
+        Some(up) if up < last => (up, Some(Day(up.day().0 + 1))),
+        Some(_) => (last, None),
+    };
+
+    let mut sched = AvailabilitySchedule::new(first.day(), retired);
+    let mut down_since: Option<Epoch> = None;
+    for &(epoch, ref result) in &series.polls {
+        if epoch > lifetime_end {
+            break;
+        }
+        if result.is_up() {
+            if let Some(start) = down_since.take() {
+                sched.add_outage(start, epoch, OutageCause::Organic);
+            }
+        } else if down_since.is_none() {
+            down_since = Some(epoch);
+        }
+    }
+    Some(sched)
+}
+
+/// Observed downtime fraction over the polled portion of the lifetime.
+pub fn observed_downtime(series: &ObservedSeries) -> Option<f64> {
+    series.downtime_fraction()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_model::datasets::{InstanceApiInfo, PollResult};
+    use fediscope_model::ids::InstanceId;
+
+    fn up() -> PollResult {
+        PollResult::Up(InstanceApiInfo {
+            name: "x".into(),
+            version: "v".into(),
+            toots: 0,
+            users: 0,
+            subscriptions: 0,
+            logins: 0,
+            registration_open: true,
+        })
+    }
+
+    fn series(polls: Vec<(u32, bool)>) -> ObservedSeries {
+        ObservedSeries {
+            instance: InstanceId(0),
+            polls: polls
+                .into_iter()
+                .map(|(e, is_up)| (Epoch(e), if is_up { up() } else { PollResult::Down }))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn empty_series_is_none() {
+        assert!(schedule_from_polls(&ObservedSeries::default()).is_none());
+    }
+
+    #[test]
+    fn all_up_has_no_outages() {
+        let s = series(vec![(0, true), (1, true), (2, true)]);
+        let sched = schedule_from_polls(&s).unwrap();
+        assert_eq!(sched.outage_count(), 0);
+        assert!(sched.retired.is_none());
+    }
+
+    #[test]
+    fn down_run_becomes_outage() {
+        let s = series(vec![(0, true), (1, false), (2, false), (3, true)]);
+        let sched = schedule_from_polls(&s).unwrap();
+        assert_eq!(sched.outage_count(), 1);
+        let o = sched.outages()[0];
+        assert_eq!((o.start, o.end), (Epoch(1), Epoch(3)));
+    }
+
+    #[test]
+    fn trailing_down_is_retirement_not_outage() {
+        let s = series(vec![(0, true), (300, true), (600, false), (900, false)]);
+        let sched = schedule_from_polls(&s).unwrap();
+        assert_eq!(sched.outage_count(), 0, "persistent failure ≠ outage");
+        assert!(sched.retired.is_some());
+    }
+
+    #[test]
+    fn never_up_is_degenerate() {
+        let s = series(vec![(0, false), (1, false)]);
+        let sched = schedule_from_polls(&s).unwrap();
+        assert_eq!(sched.outage_count(), 0);
+        assert_eq!(sched.lifetime_epochs(), 0);
+    }
+
+    #[test]
+    fn multiple_outages_preserved() {
+        let s = series(vec![
+            (0, true),
+            (10, false),
+            (20, true),
+            (30, false),
+            (40, false),
+            (50, true),
+        ]);
+        let sched = schedule_from_polls(&s).unwrap();
+        assert_eq!(sched.outage_count(), 2);
+        assert_eq!(sched.outages()[0].start, Epoch(10));
+        assert_eq!(sched.outages()[1].start, Epoch(30));
+        assert_eq!(sched.outages()[1].end, Epoch(50));
+    }
+}

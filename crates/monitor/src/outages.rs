@@ -1,0 +1,203 @@
+//! Continuous-outage analysis (Fig. 10) and worst-day impact.
+
+use fediscope_model::instance::Instance;
+use fediscope_model::schedule::AvailabilitySchedule;
+use fediscope_model::time::{Day, WINDOW_DAYS};
+use fediscope_stats::Ecdf;
+
+/// Fig. 10's data: the duration distribution of day-plus outages and the
+/// affected user/toot volumes.
+#[derive(Debug, Clone)]
+pub struct OutageDurations {
+    /// Every outage duration, in days (all outages, not just day-plus).
+    pub durations_days: Ecdf,
+    /// Fraction of instances with at least one outage.
+    pub any_outage_frac: f64,
+    /// Fraction of instances with a ≥1-day continuous outage.
+    pub day_plus_frac: f64,
+    /// Fraction of instances with a >30-day continuous outage.
+    pub month_plus_frac: f64,
+    /// Users on instances with a ≥1-day outage (the Fig. 10 right axis).
+    pub users_affected: u64,
+    /// Toots on instances with a ≥1-day outage.
+    pub toots_affected: u64,
+}
+
+/// Analyse outage durations across instances.
+pub fn outage_durations(
+    instances: &[Instance],
+    schedules: &[AvailabilitySchedule],
+) -> OutageDurations {
+    let mut durations = Vec::new();
+    let mut any = 0usize;
+    let mut day_plus = 0usize;
+    let mut month_plus = 0usize;
+    let mut users_affected = 0u64;
+    let mut toots_affected = 0u64;
+    let mut considered = 0usize;
+    for (inst, sched) in instances.iter().zip(schedules) {
+        if sched.lifetime_epochs() == 0 {
+            continue;
+        }
+        considered += 1;
+        let mut longest = 0.0f64;
+        for o in sched.outages() {
+            durations.push(o.len_days());
+            longest = longest.max(o.len_days());
+        }
+        if sched.outage_count() > 0 {
+            any += 1;
+        }
+        if longest >= 1.0 {
+            day_plus += 1;
+            users_affected += inst.user_count as u64;
+            toots_affected += inst.toot_count;
+        }
+        if longest > 30.0 {
+            month_plus += 1;
+        }
+    }
+    let n = considered.max(1) as f64;
+    OutageDurations {
+        durations_days: Ecdf::new(durations),
+        any_outage_frac: any as f64 / n,
+        day_plus_frac: day_plus as f64 / n,
+        month_plus_frac: month_plus as f64 / n,
+        users_affected,
+        toots_affected,
+    }
+}
+
+/// The worst whole-day toot blackout: for each day, the fraction of global
+/// toots hosted on instances that were down for that *entire* day (the
+/// paper finds a day — 2017-04-15 — where 6% of all toots were unavailable
+/// all day).
+pub fn worst_day_blackout(
+    instances: &[Instance],
+    schedules: &[AvailabilitySchedule],
+) -> (Day, f64) {
+    let total: u64 = instances.iter().map(|i| i.toot_count).sum();
+    if total == 0 {
+        return (Day(0), 0.0);
+    }
+    let mut worst = (Day(0), 0.0f64);
+    for d in 0..WINDOW_DAYS {
+        let day = Day(d);
+        let mut dark = 0u64;
+        for (inst, sched) in instances.iter().zip(schedules) {
+            if sched.down_whole_day(day) {
+                dark += inst.toot_count;
+            }
+        }
+        let frac = dark as f64 / total as f64;
+        if frac > worst.1 {
+            worst = (day, frac);
+        }
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_model::schedule::OutageCause;
+    use fediscope_model::time::Epoch;
+
+    fn mk_inst(i: u32, users: u32, toots: u64) -> Instance {
+        use fediscope_model::certs::{Certificate, CertificateAuthority};
+        use fediscope_model::geo::Country;
+        use fediscope_model::ids::{AsId, InstanceId};
+        use fediscope_model::instance::{OperatorKind, Registration, Software};
+        use fediscope_model::taxonomy::{CategorySet, PolicySet};
+        Instance {
+            id: InstanceId(i),
+            domain: format!("i{i}"),
+            software: Software::Mastodon,
+            registration: Registration::Open,
+            declares_categories: false,
+            categories: CategorySet::empty(),
+            policies: PolicySet::unstated(),
+            country: Country::Japan,
+            asn: AsId(1),
+            provider_index: 0,
+            ip: i,
+            certificate: Certificate {
+                ca: CertificateAuthority::LetsEncrypt,
+                issued: Day(0),
+                auto_renew: true,
+            },
+            created: Day(0),
+            operator: OperatorKind::Individual,
+            user_count: users,
+            toot_count: toots,
+            boosted_toots: 0,
+            active_user_pct: 50.0,
+            crawl_allowed: true,
+            private_toot_frac: 0.0,
+        }
+    }
+
+    #[test]
+    fn counts_and_fractions() {
+        let instances = vec![mk_inst(0, 10, 100), mk_inst(1, 20, 200), mk_inst(2, 5, 50)];
+        let mut s0 = AvailabilitySchedule::always_up();
+        s0.add_outage(Epoch(0), Epoch(10), OutageCause::Organic); // short blip
+        let mut s1 = AvailabilitySchedule::always_up();
+        s1.add_outage(Epoch(0), Day(2).start_epoch(), OutageCause::Organic); // 2 days
+        let s2 = AvailabilitySchedule::always_up();
+        let r = outage_durations(&instances, &[s0, s1, s2]);
+        assert!((r.any_outage_frac - 2.0 / 3.0).abs() < 1e-9);
+        assert!((r.day_plus_frac - 1.0 / 3.0).abs() < 1e-9);
+        assert_eq!(r.month_plus_frac, 0.0);
+        assert_eq!(r.users_affected, 20);
+        assert_eq!(r.toots_affected, 200);
+        assert_eq!(r.durations_days.len(), 2);
+    }
+
+    #[test]
+    fn month_long_outage_detected() {
+        let instances = vec![mk_inst(0, 1, 10)];
+        let mut s = AvailabilitySchedule::always_up();
+        s.add_outage(Epoch(0), Day(35).start_epoch(), OutageCause::Organic);
+        let r = outage_durations(&instances, &[s]);
+        assert_eq!(r.month_plus_frac, 1.0);
+    }
+
+    #[test]
+    fn worst_day_finds_blackout() {
+        // one instance with 60% of toots is dark on day 7
+        let instances = vec![mk_inst(0, 1, 600), mk_inst(1, 1, 400)];
+        let mut s0 = AvailabilitySchedule::always_up();
+        s0.add_outage(
+            Day(7).start_epoch(),
+            Day(8).start_epoch(),
+            OutageCause::Organic,
+        );
+        let schedules = vec![s0, AvailabilitySchedule::always_up()];
+        let (day, frac) = worst_day_blackout(&instances, &schedules);
+        assert_eq!(day, Day(7));
+        assert!((frac - 0.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn partial_day_does_not_count_as_blackout() {
+        let instances = vec![mk_inst(0, 1, 100)];
+        let mut s = AvailabilitySchedule::always_up();
+        // only half of day 3
+        s.add_outage(
+            Day(3).start_epoch(),
+            Epoch(Day(3).start_epoch().0 + 100),
+            OutageCause::Organic,
+        );
+        let (_, frac) = worst_day_blackout(&instances, &[s]);
+        assert_eq!(frac, 0.0);
+    }
+
+    #[test]
+    fn empty_world() {
+        let (_, frac) = worst_day_blackout(&[], &[]);
+        assert_eq!(frac, 0.0);
+        let r = outage_durations(&[], &[]);
+        assert_eq!(r.any_outage_frac, 0.0);
+    }
+}

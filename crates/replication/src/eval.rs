@@ -1,0 +1,382 @@
+//! Availability-under-failure evaluation (Figs. 15 and 16).
+//!
+//! A toot is *available* if at least one live instance holds a copy and the
+//! copy is discoverable through the assumed global index (§5.2: "we assume
+//! the presence of a global index (such as a Distributed Hash Table)").
+//!
+//! Removal is modelled as a fixed sequence of instances (or groups of
+//! instances = ASes); after each prefix, availability is the fraction of
+//! all toots with a surviving holder.
+
+use crate::content::ContentView;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Replication strategy under evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Strategy {
+    /// Home instance only.
+    NoReplication,
+    /// Home + every follower instance (persistent + globally indexed).
+    Subscription,
+    /// Home + `n` uniformly random instances per toot.
+    Random {
+        /// Replica count.
+        n: usize,
+    },
+}
+
+/// One point of an availability curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AvailabilityPoint {
+    /// Instances (or groups) removed so far.
+    pub removed: usize,
+    /// Fraction of toots still available, in `[0, 1]`.
+    pub availability: f64,
+}
+
+/// Map each instance to the 1-based step at which it is removed
+/// (`usize::MAX` = never). Steps come from a grouped order: group `g`
+/// (0-based) is removed at step `g + 1`.
+fn removal_steps(n_instances: usize, groups: &[Vec<u32>]) -> Vec<usize> {
+    let mut step = vec![usize::MAX; n_instances];
+    for (g, members) in groups.iter().enumerate() {
+        for &m in members {
+            // first group wins if an instance appears twice
+            if step[m as usize] == usize::MAX {
+                step[m as usize] = g + 1;
+            }
+        }
+    }
+    step
+}
+
+/// Exact availability curve for [`Strategy::NoReplication`] and
+/// [`Strategy::Subscription`], and the exact *expectation* for
+/// [`Strategy::Random`] (over the per-toot placement randomness).
+///
+/// `groups`: removal sequence; element `g` lists the instances removed at
+/// step `g + 1`. Returns one point per step, including a step-0 baseline.
+pub fn availability_curve(
+    view: &ContentView,
+    strategy: Strategy,
+    groups: &[Vec<u32>],
+) -> Vec<AvailabilityPoint> {
+    match strategy {
+        Strategy::Random { n } => random_expectation_curve(view, n, groups),
+        _ => exact_curve(view, strategy, groups),
+    }
+}
+
+fn exact_curve(
+    view: &ContentView,
+    strategy: Strategy,
+    groups: &[Vec<u32>],
+) -> Vec<AvailabilityPoint> {
+    let steps = removal_steps(view.n_instances, groups);
+    // death step per user: all holders removed
+    // availability(k) = 1 - sum_{death <= k} toots / total
+    let mut death_toots = vec![0u64; groups.len() + 2]; // index by step
+    for u in 0..view.n_users() {
+        let home_step = steps[view.home[u] as usize];
+        let death = match strategy {
+            Strategy::NoReplication => home_step,
+            Strategy::Subscription => {
+                let mut death = home_step;
+                for &f in &view.follower_instances[u] {
+                    death = death.max(steps[f as usize]);
+                }
+                death
+            }
+            Strategy::Random { .. } => unreachable!("handled elsewhere"),
+        };
+        if death != usize::MAX && death <= groups.len() {
+            death_toots[death] += view.toots[u];
+        }
+    }
+    let total = view.total_toots.max(1) as f64;
+    let mut lost = 0u64;
+    let mut out = Vec::with_capacity(groups.len() + 1);
+    out.push(AvailabilityPoint {
+        removed: 0,
+        availability: 1.0,
+    });
+    for k in 1..=groups.len() {
+        lost += death_toots[k];
+        out.push(AvailabilityPoint {
+            removed: k,
+            availability: 1.0 - lost as f64 / total,
+        });
+    }
+    out
+}
+
+/// Exact expectation for random replication: a toot with a removed home
+/// survives unless all `n` replicas (uniform without replacement over all
+/// instances) are inside the removed set — a hypergeometric zero-overlap
+/// complement.
+fn random_expectation_curve(
+    view: &ContentView,
+    n: usize,
+    groups: &[Vec<u32>],
+) -> Vec<AvailabilityPoint> {
+    let steps = removal_steps(view.n_instances, groups);
+    // toots whose home dies at step k
+    let mut home_death_toots = vec![0u64; groups.len() + 2];
+    for u in 0..view.n_users() {
+        let s = steps[view.home[u] as usize];
+        if s != usize::MAX && s <= groups.len() {
+            home_death_toots[s] += view.toots[u];
+        }
+    }
+    let total = view.total_toots.max(1) as f64;
+    let i_total = view.n_instances;
+    let mut removed_count = 0usize;
+    let mut homeless = 0u64; // toots with removed homes so far
+    let mut out = Vec::with_capacity(groups.len() + 1);
+    out.push(AvailabilityPoint {
+        removed: 0,
+        availability: 1.0,
+    });
+    for k in 1..=groups.len() {
+        removed_count += groups[k - 1].len();
+        homeless += home_death_toots[k];
+        // P(all n replicas fall in the removed set)
+        let mut p_all_gone = 1.0f64;
+        for i in 0..n {
+            let num = removed_count.saturating_sub(i) as f64;
+            let den = (i_total - i).max(1) as f64;
+            p_all_gone *= (num / den).clamp(0.0, 1.0);
+        }
+        let expected_lost = homeless as f64 * p_all_gone;
+        out.push(AvailabilityPoint {
+            removed: k,
+            availability: 1.0 - expected_lost / total,
+        });
+    }
+    out
+}
+
+/// Monte-Carlo evaluation of random replication with explicit per-toot
+/// placements (exercises the real code path; used to validate the
+/// expectation and by the DHT-backed write-path demo). `toot_cap` bounds
+/// the sampled toots per user (remaining toots reuse sampled placements in
+/// proportion — a documented approximation).
+pub fn random_monte_carlo_curve(
+    view: &ContentView,
+    n: usize,
+    groups: &[Vec<u32>],
+    toot_cap: u32,
+    seed: u64,
+) -> Vec<AvailabilityPoint> {
+    let steps = removal_steps(view.n_instances, groups);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // death_weight[k] accumulates toot weight dying exactly at step k
+    let mut death_toots = vec![0f64; groups.len() + 2];
+    for u in 0..view.n_users() {
+        if view.toots[u] == 0 {
+            continue;
+        }
+        let home_step = steps[view.home[u] as usize];
+        if home_step == usize::MAX || home_step > groups.len() {
+            continue; // home survives: toot always available
+        }
+        let samples = view.toots[u].min(toot_cap as u64) as u32;
+        let weight_per_sample = view.toots[u] as f64 / samples as f64;
+        for _ in 0..samples {
+            // sample n distinct replica instances
+            let mut replicas: Vec<u32> = Vec::with_capacity(n);
+            while replicas.len() < n.min(view.n_instances) {
+                let cand = rng.gen_range(0..view.n_instances as u32);
+                if !replicas.contains(&cand) {
+                    replicas.push(cand);
+                }
+            }
+            let mut death = home_step;
+            for &r in &replicas {
+                death = death.max(steps[r as usize]);
+            }
+            if death != usize::MAX && death <= groups.len() {
+                death_toots[death] += weight_per_sample;
+            }
+        }
+    }
+    let total = view.total_toots.max(1) as f64;
+    let mut lost = 0.0;
+    let mut out = Vec::with_capacity(groups.len() + 1);
+    out.push(AvailabilityPoint {
+        removed: 0,
+        availability: 1.0,
+    });
+    for k in 1..=groups.len() {
+        lost += death_toots[k];
+        out.push(AvailabilityPoint {
+            removed: k,
+            availability: 1.0 - lost / total,
+        });
+    }
+    out
+}
+
+/// Convenience: turn a flat instance order into single-member groups.
+pub fn singleton_groups(order: &[u32]) -> Vec<Vec<u32>> {
+    order.iter().map(|&i| vec![i]).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_worldgen::{Generator, WorldConfig};
+
+    fn view() -> ContentView {
+        let mut cfg = WorldConfig::tiny(41);
+        cfg.n_instances = 40;
+        cfg.n_users = 1200;
+        ContentView::from_world(&Generator::generate_world(cfg))
+    }
+
+    /// Removal order: by per-instance toot volume, descending.
+    fn toot_order(v: &ContentView) -> Vec<u32> {
+        let mut toots = vec![0u64; v.n_instances];
+        for u in 0..v.n_users() {
+            toots[v.home[u] as usize] += v.toots[u];
+        }
+        let mut order: Vec<u32> = (0..v.n_instances as u32).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(toots[i as usize]));
+        order
+    }
+
+    #[test]
+    fn baseline_is_full_availability() {
+        let v = view();
+        let groups = singleton_groups(&toot_order(&v)[..10]);
+        for strat in [
+            Strategy::NoReplication,
+            Strategy::Subscription,
+            Strategy::Random { n: 2 },
+        ] {
+            let curve = availability_curve(&v, strat, &groups);
+            assert_eq!(curve[0].availability, 1.0);
+            assert_eq!(curve.len(), 11);
+        }
+    }
+
+    #[test]
+    fn availability_monotone_decreasing() {
+        let v = view();
+        let groups = singleton_groups(&toot_order(&v));
+        for strat in [
+            Strategy::NoReplication,
+            Strategy::Subscription,
+            Strategy::Random { n: 3 },
+        ] {
+            let curve = availability_curve(&v, strat, &groups);
+            for w in curve.windows(2) {
+                assert!(
+                    w[1].availability <= w[0].availability + 1e-12,
+                    "{strat:?} not monotone"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn strategy_ordering_no_rep_worst() {
+        let v = view();
+        let groups = singleton_groups(&toot_order(&v)[..10]);
+        let none = availability_curve(&v, Strategy::NoReplication, &groups);
+        let sub = availability_curve(&v, Strategy::Subscription, &groups);
+        let rnd = availability_curve(&v, Strategy::Random { n: 3 }, &groups);
+        for k in 1..=10 {
+            assert!(
+                sub[k].availability >= none[k].availability - 1e-12,
+                "subscription must dominate no-replication"
+            );
+            assert!(
+                rnd[k].availability >= none[k].availability - 1e-12,
+                "random must dominate no-replication"
+            );
+        }
+        // the paper's headline: removing the top instances kills the
+        // no-replication world but barely dents the replicated ones
+        assert!(none[10].availability < sub[10].availability);
+    }
+
+    #[test]
+    fn random_monotone_in_n() {
+        let v = view();
+        let groups = singleton_groups(&toot_order(&v)[..15]);
+        let mut prev: Option<Vec<AvailabilityPoint>> = None;
+        for n in [1usize, 2, 4, 7] {
+            let curve = availability_curve(&v, Strategy::Random { n }, &groups);
+            if let Some(p) = &prev {
+                for k in 0..curve.len() {
+                    assert!(
+                        curve[k].availability >= p[k].availability - 1e-12,
+                        "more replicas must not hurt (n={n}, k={k})"
+                    );
+                }
+            }
+            prev = Some(curve);
+        }
+    }
+
+    #[test]
+    fn removing_everything_kills_everything() {
+        let v = view();
+        let all: Vec<u32> = (0..v.n_instances as u32).collect();
+        let groups = vec![all]; // one giant group
+        for strat in [
+            Strategy::NoReplication,
+            Strategy::Subscription,
+            Strategy::Random { n: 4 },
+        ] {
+            let curve = availability_curve(&v, strat, &groups);
+            assert!(
+                curve[1].availability.abs() < 1e-9,
+                "{strat:?} availability {} after total removal",
+                curve[1].availability
+            );
+        }
+    }
+
+    #[test]
+    fn monte_carlo_matches_expectation() {
+        let v = view();
+        let groups = singleton_groups(&toot_order(&v)[..12]);
+        let n = 2;
+        let exact = availability_curve(&v, Strategy::Random { n }, &groups);
+        let mc = random_monte_carlo_curve(&v, n, &groups, 32, 99);
+        for k in 0..exact.len() {
+            assert!(
+                (exact[k].availability - mc[k].availability).abs() < 0.05,
+                "k={k}: exact {} vs mc {}",
+                exact[k].availability,
+                mc[k].availability
+            );
+        }
+    }
+
+    #[test]
+    fn grouped_as_removal_is_harsher_than_single() {
+        let v = view();
+        let order = toot_order(&v);
+        // group the top 10 into 2 "ASes" of 5 vs removing 2 single instances
+        let grouped = vec![order[..5].to_vec(), order[5..10].to_vec()];
+        let single = singleton_groups(&order[..2]);
+        let g = availability_curve(&v, Strategy::NoReplication, &grouped);
+        let s = availability_curve(&v, Strategy::NoReplication, &single);
+        assert!(g[2].availability <= s[2].availability + 1e-12);
+    }
+
+    #[test]
+    fn duplicate_instance_in_groups_ignored() {
+        let v = view();
+        let groups = vec![vec![0u32], vec![0u32, 1]];
+        let curve = availability_curve(&v, Strategy::NoReplication, &groups);
+        assert_eq!(curve.len(), 3);
+        for w in curve.windows(2) {
+            assert!(w[1].availability <= w[0].availability + 1e-12);
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # fediscope-replication
+//!
+//! Toot replication strategies and availability-under-failure evaluation
+//! (§5.2 of the paper, Figs. 15 and 16).
+//!
+//! The paper evaluates three schemes:
+//! - **No replication**: a toot lives only on its author's instance,
+//! - **Subscription replication**: a toot is replicated to every instance
+//!   hosting at least one follower of the author (what Mastodon loosely
+//!   does, minus persistence and global indexing),
+//! - **Random replication**: each toot is copied to `n` uniformly random
+//!   instances.
+//!
+//! Both an exact-expectation evaluator and a seeded Monte-Carlo evaluator
+//! are provided ([`eval`]); they agree within sampling error (tested). The
+//! global index the paper assumes ("e.g., via a Distributed Hash Table") is
+//! implemented as a consistent-hash ring ([`dht`]). A capacity-weighted
+//! variant ([`weighted`]) explores the paper's closing remark that
+//! "it would be important to weight replication based on the resources
+//! available at the instance".
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod content;
+pub mod dht;
+pub mod eval;
+pub mod weighted;
+
+pub use content::ContentView;
+pub use dht::HashRing;
+pub use eval::{AvailabilityPoint, Strategy};

@@ -1,0 +1,176 @@
+//! Capacity-weighted random replication — the extension the paper sketches
+//! in §5.2's closing remark: "it would be important to weight replication
+//! based on the resources available at the instance (e.g., storage)".
+//!
+//! Replicas are drawn with probability proportional to instance capacity
+//! instead of uniformly. The evaluator is Monte-Carlo (the non-uniform
+//! without-replacement expectation has no clean closed form).
+
+use crate::content::ContentView;
+use crate::eval::AvailabilityPoint;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Weighted sampler over instances (cumulative-sum binary search).
+struct WeightedSampler {
+    cum: Vec<f64>,
+}
+
+impl WeightedSampler {
+    fn new(weights: &[f64]) -> Self {
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w.max(0.0);
+            cum.push(acc);
+        }
+        assert!(acc > 0.0, "weights must not all be zero");
+        Self { cum }
+    }
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let x = rng.gen::<f64>() * self.cum.last().unwrap();
+        self.cum.partition_point(|&c| c < x).min(self.cum.len() - 1) as u32
+    }
+}
+
+/// Availability curve for capacity-weighted random replication with `n`
+/// replicas per toot, sampled per user batch (`toot_cap` samples per user).
+pub fn weighted_random_curve(
+    view: &ContentView,
+    capacities: &[f64],
+    n: usize,
+    groups: &[Vec<u32>],
+    toot_cap: u32,
+    seed: u64,
+) -> Vec<AvailabilityPoint> {
+    assert_eq!(capacities.len(), view.n_instances, "capacity length");
+    let sampler = WeightedSampler::new(capacities);
+    let mut steps = vec![usize::MAX; view.n_instances];
+    for (g, members) in groups.iter().enumerate() {
+        for &m in members {
+            if steps[m as usize] == usize::MAX {
+                steps[m as usize] = g + 1;
+            }
+        }
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut death_toots = vec![0f64; groups.len() + 2];
+    for u in 0..view.n_users() {
+        if view.toots[u] == 0 {
+            continue;
+        }
+        let home_step = steps[view.home[u] as usize];
+        if home_step == usize::MAX || home_step > groups.len() {
+            continue;
+        }
+        let samples = view.toots[u].min(toot_cap as u64) as u32;
+        let weight = view.toots[u] as f64 / samples as f64;
+        for _ in 0..samples {
+            let mut replicas: Vec<u32> = Vec::with_capacity(n);
+            let mut guard = 0;
+            while replicas.len() < n.min(view.n_instances) && guard < 64 * n {
+                let cand = sampler.sample(&mut rng);
+                guard += 1;
+                if !replicas.contains(&cand) {
+                    replicas.push(cand);
+                }
+            }
+            let mut death = home_step;
+            for &r in &replicas {
+                death = death.max(steps[r as usize]);
+            }
+            if death != usize::MAX && death <= groups.len() {
+                death_toots[death] += weight;
+            }
+        }
+    }
+    let total = view.total_toots.max(1) as f64;
+    let mut lost = 0.0;
+    let mut out = vec![AvailabilityPoint {
+        removed: 0,
+        availability: 1.0,
+    }];
+    for k in 1..=groups.len() {
+        lost += death_toots[k];
+        out.push(AvailabilityPoint {
+            removed: k,
+            availability: 1.0 - lost / total,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::{random_monte_carlo_curve, singleton_groups};
+    use fediscope_worldgen::{Generator, WorldConfig};
+
+    fn view() -> ContentView {
+        let mut cfg = WorldConfig::tiny(51);
+        cfg.n_instances = 30;
+        cfg.n_users = 900;
+        ContentView::from_world(&Generator::generate_world(cfg))
+    }
+
+    #[test]
+    fn uniform_capacity_matches_uniform_random() {
+        let v = view();
+        let order: Vec<u32> = (0..v.n_instances as u32).collect();
+        let groups = singleton_groups(&order[..8]);
+        let caps = vec![1.0; v.n_instances];
+        let weighted = weighted_random_curve(&v, &caps, 2, &groups, 32, 7);
+        let uniform = random_monte_carlo_curve(&v, 2, &groups, 32, 7);
+        for k in 0..weighted.len() {
+            assert!(
+                (weighted[k].availability - uniform[k].availability).abs() < 0.06,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn capacity_skew_away_from_victims_helps() {
+        let v = view();
+        // remove instances 0..6; give them tiny capacity so replicas avoid them
+        let order: Vec<u32> = (0..6u32).collect();
+        let groups = singleton_groups(&order);
+        let mut smart = vec![1.0; v.n_instances];
+        for i in 0..6 {
+            smart[i] = 0.001;
+        }
+        let mut dumb = vec![0.001; v.n_instances];
+        for i in 0..6 {
+            dumb[i] = 1.0; // replicas pile onto the doomed instances
+        }
+        let s = weighted_random_curve(&v, &smart, 2, &groups, 32, 11);
+        let d = weighted_random_curve(&v, &dumb, 2, &groups, 32, 11);
+        let k = groups.len();
+        assert!(
+            s[k].availability >= d[k].availability,
+            "capacity-aware placement should not be worse: {} vs {}",
+            s[k].availability,
+            d[k].availability
+        );
+    }
+
+    #[test]
+    fn monotone_decreasing() {
+        let v = view();
+        let order: Vec<u32> = (0..v.n_instances as u32).collect();
+        let groups = singleton_groups(&order[..10]);
+        let caps: Vec<f64> = (0..v.n_instances).map(|i| 1.0 + i as f64).collect();
+        let curve = weighted_random_curve(&v, &caps, 3, &groups, 16, 13);
+        for w in curve.windows(2) {
+            assert!(w[1].availability <= w[0].availability + 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity length")]
+    fn wrong_capacity_length_panics() {
+        let v = view();
+        let _ = weighted_random_curve(&v, &[1.0], 2, &[vec![0]], 8, 1);
+    }
+}

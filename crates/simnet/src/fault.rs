@@ -1,0 +1,167 @@
+//! Deterministic fault injection (smoltcp-style: drop chance, delay,
+//! rate limiting) applied in front of the instance API.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// What the fault layer decided to do with a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDecision {
+    /// Serve normally.
+    Pass,
+    /// Delay by the given duration, then serve.
+    Delay(Duration),
+    /// Fail with a 500 (models transient backend errors).
+    ServerError,
+    /// Fail with a 429 (rate limit exceeded).
+    RateLimited,
+}
+
+/// Fault plan configuration.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability of a transient 500.
+    pub error_prob: f64,
+    /// Probability of an artificial delay.
+    pub delay_prob: f64,
+    /// Delay bounds.
+    pub delay_min: Duration,
+    /// Upper delay bound.
+    pub delay_max: Duration,
+    /// Requests allowed per instance per virtual epoch before 429s
+    /// (0 = unlimited).
+    pub per_epoch_budget: u32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self {
+            error_prob: 0.0,
+            delay_prob: 0.0,
+            delay_min: Duration::from_millis(1),
+            delay_max: Duration::from_millis(20),
+            per_epoch_budget: 0,
+        }
+    }
+}
+
+impl FaultPlan {
+    /// A mildly hostile network: 2% errors, 10% delays.
+    pub fn flaky() -> Self {
+        Self {
+            error_prob: 0.02,
+            delay_prob: 0.10,
+            ..Self::default()
+        }
+    }
+}
+
+/// Stateful injector: deterministic decisions derived from a seed and a
+/// request counter (no global RNG locking on the hot path).
+#[derive(Debug)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    seed: u64,
+    counter: AtomicU64,
+}
+
+fn mix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+impl FaultInjector {
+    /// New injector.
+    pub fn new(plan: FaultPlan, seed: u64) -> Self {
+        Self {
+            plan,
+            seed,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured plan.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Decide the fate of the next request.
+    pub fn decide(&self) -> FaultDecision {
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let h = mix(self.seed ^ n.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform [0,1)
+        if u < self.plan.error_prob {
+            return FaultDecision::ServerError;
+        }
+        if u < self.plan.error_prob + self.plan.delay_prob {
+            let span = self
+                .plan
+                .delay_max
+                .saturating_sub(self.plan.delay_min)
+                .as_millis() as u64;
+            let extra = if span == 0 { 0 } else { mix(h) % span };
+            return FaultDecision::Delay(self.plan.delay_min + Duration::from_millis(extra));
+        }
+        FaultDecision::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_plan_always_passes() {
+        let inj = FaultInjector::new(FaultPlan::default(), 1);
+        for _ in 0..1000 {
+            assert_eq!(inj.decide(), FaultDecision::Pass);
+        }
+    }
+
+    #[test]
+    fn error_rate_respected() {
+        let plan = FaultPlan {
+            error_prob: 0.3,
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan, 42);
+        let errs = (0..10_000)
+            .filter(|_| inj.decide() == FaultDecision::ServerError)
+            .count();
+        let rate = errs as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.03, "error rate {rate}");
+    }
+
+    #[test]
+    fn delays_within_bounds() {
+        let plan = FaultPlan {
+            delay_prob: 1.0,
+            delay_min: Duration::from_millis(5),
+            delay_max: Duration::from_millis(10),
+            ..FaultPlan::default()
+        };
+        let inj = FaultInjector::new(plan, 7);
+        for _ in 0..100 {
+            match inj.decide() {
+                FaultDecision::Delay(d) => {
+                    assert!(d >= Duration::from_millis(5) && d <= Duration::from_millis(10));
+                }
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn deterministic_sequence() {
+        let mk = || FaultInjector::new(FaultPlan::flaky(), 99);
+        let a: Vec<FaultDecision> = (0..50).map(|_| mk().decide()).collect();
+        // same seed, same first decision each time
+        assert!(a.windows(2).all(|w| w[0] == w[1]));
+        let i1 = mk();
+        let i2 = mk();
+        let s1: Vec<FaultDecision> = (0..50).map(|_| i1.decide()).collect();
+        let s2: Vec<FaultDecision> = (0..50).map(|_| i2.decide()).collect();
+        assert_eq!(s1, s2);
+    }
+}

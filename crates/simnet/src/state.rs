@@ -1,0 +1,247 @@
+//! Shared state of the simulated fediverse.
+
+use crate::clock::SimClock;
+use crate::fault::{FaultInjector, FaultPlan};
+use crate::timelines::TimelineIndex;
+use fediscope_activitypub::Activity;
+use fediscope_model::ids::InstanceId;
+use fediscope_model::world::World;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::sync::OnceLock;
+
+/// Everything the instance-API handler needs, shared across connections.
+pub struct SimState {
+    /// Ground truth.
+    pub world: Arc<World>,
+    /// Virtual clock.
+    pub clock: SimClock,
+    /// Fault injection.
+    pub faults: FaultInjector,
+    domains: HashMap<String, InstanceId>,
+    timelines: Vec<OnceLock<TimelineIndex>>,
+    followers_of: OnceLock<Vec<Vec<u32>>>,
+    subscriptions_out: OnceLock<Vec<u32>>,
+    remote_toots: OnceLock<Vec<u64>>,
+    inboxes: Vec<Mutex<Vec<Activity>>>,
+    budgets: Mutex<HashMap<u32, (u32, u32)>>,
+}
+
+impl SimState {
+    /// Build state over a world.
+    pub fn new(world: Arc<World>, plan: FaultPlan, seed: u64) -> Arc<Self> {
+        let domains = world
+            .instances
+            .iter()
+            .map(|i| (i.domain.clone(), i.id))
+            .collect();
+        let n = world.instances.len();
+        Arc::new(Self {
+            clock: SimClock::new(),
+            faults: FaultInjector::new(plan, seed),
+            domains,
+            timelines: (0..n).map(|_| OnceLock::new()).collect(),
+            followers_of: OnceLock::new(),
+            subscriptions_out: OnceLock::new(),
+            remote_toots: OnceLock::new(),
+            inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
+            budgets: Mutex::new(HashMap::new()),
+            world,
+        })
+    }
+
+    /// Resolve a `Host` header to an instance.
+    pub fn instance_by_domain(&self, domain: &str) -> Option<InstanceId> {
+        self.domains.get(domain).copied()
+    }
+
+    /// Is the instance up at the current virtual time?
+    pub fn is_up(&self, id: InstanceId) -> bool {
+        self.world.schedules[id.index()].is_up(self.clock.now())
+    }
+
+    /// Lazily built timeline index for an instance.
+    pub fn timeline(&self, id: InstanceId) -> &TimelineIndex {
+        self.timelines[id.index()]
+            .get_or_init(|| TimelineIndex::build(&self.world, id))
+    }
+
+    /// Lazily built reverse follower index: `followers_of()[u]` lists the
+    /// user ids following `u`.
+    pub fn followers_of(&self) -> &Vec<Vec<u32>> {
+        self.followers_of.get_or_init(|| {
+            let mut rev = vec![Vec::new(); self.world.users.len()];
+            for &(a, b) in &self.world.follows {
+                rev[b.index()].push(a.0);
+            }
+            for list in &mut rev {
+                list.sort_unstable();
+            }
+            rev
+        })
+    }
+
+    /// Outbound federated-subscription count per instance (the number the
+    /// instance API reports).
+    pub fn subscription_counts(&self) -> &Vec<u32> {
+        self.subscriptions_out.get_or_init(|| {
+            let mut out = vec![0u32; self.world.instances.len()];
+            for (a, _b) in self.world.federation_edges() {
+                out[a.index()] += 1;
+            }
+            out
+        })
+    }
+
+    /// Per-instance *remote* toot volume: the public toots authored by
+    /// remote accounts that local users follow — the federated-timeline
+    /// replica pool of §5.2 (Fig. 14).
+    pub fn remote_toot_counts(&self) -> &Vec<u64> {
+        self.remote_toots.get_or_init(|| {
+            // (subscribing instance, remote followee), deduplicated: a toot
+            // replicated once is visible once however many locals follow.
+            let mut pairs: Vec<(u32, u32)> = self
+                .world
+                .follows
+                .iter()
+                .filter_map(|&(a, b)| {
+                    let ia = self.world.instance_of(a);
+                    let ib = self.world.instance_of(b);
+                    (ia != ib).then_some((ia.0, b.0))
+                })
+                .collect();
+            pairs.sort_unstable();
+            pairs.dedup();
+            let mut out = vec![0u64; self.world.instances.len()];
+            for (inst, followee) in pairs {
+                out[inst as usize] +=
+                    crate::timelines::public_toots_of(&self.world, followee as usize);
+            }
+            out
+        })
+    }
+
+    /// Enforce the per-epoch request budget for an instance. Returns `false`
+    /// when the request should be rejected with 429. A budget of 0 means
+    /// unlimited.
+    pub fn consume_budget(&self, id: InstanceId) -> bool {
+        let budget = self.faults.plan().per_epoch_budget;
+        if budget == 0 {
+            return true;
+        }
+        let epoch = self.clock.now().0;
+        let mut map = self.budgets.lock();
+        let entry = map.entry(id.0).or_insert((epoch, 0));
+        if entry.0 != epoch {
+            *entry = (epoch, 0);
+        }
+        entry.1 += 1;
+        entry.1 <= budget
+    }
+
+    /// Deliver an activity into an instance's inbox (in-process transport).
+    pub fn deliver(&self, to: InstanceId, act: Activity) {
+        self.inboxes[to.index()].lock().push(act);
+    }
+
+    /// Drain an instance's inbox (test/driver API).
+    pub fn drain_inbox(&self, id: InstanceId) -> Vec<Activity> {
+        std::mem::take(&mut *self.inboxes[id.index()].lock())
+    }
+
+    /// Number of queued inbox activities.
+    pub fn inbox_len(&self, id: InstanceId) -> usize {
+        self.inboxes[id.index()].lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_model::time::Epoch;
+    use fediscope_worldgen::{Generator, WorldConfig};
+
+    fn state() -> Arc<SimState> {
+        let mut cfg = WorldConfig::tiny(21);
+        cfg.n_instances = 12;
+        cfg.n_users = 240;
+        let world = Arc::new(Generator::generate_world(cfg));
+        SimState::new(world, FaultPlan::default(), 1)
+    }
+
+    #[test]
+    fn domain_resolution() {
+        let s = state();
+        for inst in &s.world.instances {
+            assert_eq!(s.instance_by_domain(&inst.domain), Some(inst.id));
+        }
+        assert_eq!(s.instance_by_domain("nonexistent.example"), None);
+    }
+
+    #[test]
+    fn is_up_tracks_clock() {
+        let s = state();
+        // find an instance with an outage
+        let (idx, outage) = s
+            .world
+            .schedules
+            .iter()
+            .enumerate()
+            .find_map(|(i, sched)| sched.outages().first().map(|o| (i, *o)))
+            .expect("some outage exists");
+        let id = InstanceId(idx as u32);
+        s.clock.set(outage.start);
+        assert!(!s.is_up(id));
+        s.clock.set(Epoch(outage.end.0));
+        // may still be down if next outage is adjacent; consult ground truth
+        assert_eq!(s.is_up(id), s.world.schedules[idx].is_up(outage.end));
+    }
+
+    #[test]
+    fn followers_index_matches_edges() {
+        let s = state();
+        let rev = s.followers_of();
+        let total: usize = rev.iter().map(|v| v.len()).sum();
+        assert_eq!(total, s.world.follows.len());
+        for &(a, b) in s.world.follows.iter().take(50) {
+            assert!(rev[b.index()].contains(&a.0));
+        }
+    }
+
+    #[test]
+    fn subscription_counts_match_federation_edges() {
+        let s = state();
+        let counts = s.subscription_counts();
+        let total: u32 = counts.iter().sum();
+        assert_eq!(total as usize, s.world.federation_edges().len());
+    }
+
+    #[test]
+    fn inbox_delivery_and_drain() {
+        let s = state();
+        let id = InstanceId(0);
+        assert_eq!(s.inbox_len(id), 0);
+        s.deliver(
+            id,
+            Activity::Announce {
+                id: "https://x/act/1".into(),
+                actor: "https://x/users/u1".into(),
+                object: "https://y/notes/9".into(),
+            },
+        );
+        assert_eq!(s.inbox_len(id), 1);
+        let drained = s.drain_inbox(id);
+        assert_eq!(drained.len(), 1);
+        assert_eq!(s.inbox_len(id), 0);
+    }
+
+    #[test]
+    fn timeline_caching_is_stable() {
+        let s = state();
+        let id = s.world.instances.iter().find(|i| i.user_count > 0).unwrap().id;
+        let a = s.timeline(id) as *const _;
+        let b = s.timeline(id) as *const _;
+        assert_eq!(a, b, "timeline index must be built once");
+    }
+}

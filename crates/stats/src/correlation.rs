@@ -1,0 +1,150 @@
+//! Correlation coefficients.
+//!
+//! The paper states e.g. "the correlation between the number of toots on an
+//! instance and its downtime is −0.04" (§4.4) and "the more toots an instance
+//! generates, the higher the probability of them being replicated
+//! (correlation 0.97)" (§5.2). These are reproduced with [`pearson`] and
+//! [`spearman`].
+
+/// Pearson product-moment correlation of two equal-length series.
+///
+/// Returns `None` if the series differ in length, are shorter than 2, or if
+/// either has zero variance (correlation undefined).
+pub fn pearson(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let n = x.len() as f64;
+    let mx = x.iter().sum::<f64>() / n;
+    let my = y.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        let dx = a - mx;
+        let dy = b - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Spearman rank correlation (Pearson over fractional ranks, ties averaged).
+///
+/// More robust than Pearson for the heavy-tailed count data that dominates
+/// this study.
+pub fn spearman(x: &[f64], y: &[f64]) -> Option<f64> {
+    if x.len() != y.len() || x.len() < 2 {
+        return None;
+    }
+    let rx = fractional_ranks(x);
+    let ry = fractional_ranks(y);
+    pearson(&rx, &ry)
+}
+
+/// Assign fractional ranks (1-based; ties share the average of their ranks).
+pub fn fractional_ranks(data: &[f64]) -> Vec<f64> {
+    let mut idx: Vec<usize> = (0..data.len()).collect();
+    idx.sort_by(|&a, &b| data[a].partial_cmp(&data[b]).expect("NaN in rank input"));
+    let mut ranks = vec![0.0; data.len()];
+    let mut i = 0;
+    while i < idx.len() {
+        // find the tie run [i, j)
+        let mut j = i + 1;
+        while j < idx.len() && data[idx[j]] == data[idx[i]] {
+            j += 1;
+        }
+        // ranks are 1-based: positions i+1 ..= j
+        let avg = (i + 1 + j) as f64 / 2.0;
+        for &k in &idx[i..j] {
+            ranks[k] = avg;
+        }
+        i = j;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_positive_correlation() {
+        let x = [1.0, 2.0, 3.0, 4.0];
+        let y = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_negative_correlation() {
+        let x = [1.0, 2.0, 3.0];
+        let y = [3.0, 2.0, 1.0];
+        assert!((pearson(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+        assert!((spearman(&x, &y).unwrap() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_variance_is_none() {
+        assert_eq!(pearson(&[1.0, 1.0, 1.0], &[1.0, 2.0, 3.0]), None);
+        assert_eq!(spearman(&[1.0, 2.0], &[5.0, 5.0]), None);
+    }
+
+    #[test]
+    fn mismatched_or_tiny_is_none() {
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn spearman_ignores_monotone_transform() {
+        let x = [1.0f64, 2.0, 3.0, 4.0, 5.0];
+        let y: Vec<f64> = x.iter().map(|v| f64::exp(*v)).collect();
+        // Nonlinear but monotone: Spearman = 1, Pearson < 1.
+        assert!((spearman(&x, &y).unwrap() - 1.0).abs() < 1e-12);
+        assert!(pearson(&x, &y).unwrap() < 1.0);
+    }
+
+    #[test]
+    fn ranks_average_ties() {
+        let r = fractional_ranks(&[10.0, 20.0, 20.0, 30.0]);
+        assert_eq!(r, vec![1.0, 2.5, 2.5, 4.0]);
+    }
+
+    #[test]
+    fn ranks_of_empty() {
+        assert!(fractional_ranks(&[]).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Correlation is symmetric and bounded in [-1, 1].
+        #[test]
+        fn bounded_and_symmetric(pairs in proptest::collection::vec((-1e3f64..1e3, -1e3f64..1e3), 3..100)) {
+            let x: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+            let y: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+            if let (Some(r1), Some(r2)) = (pearson(&x, &y), pearson(&y, &x)) {
+                prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r1));
+                prop_assert!((r1 - r2).abs() < 1e-9);
+            }
+        }
+
+        /// rank vector is a permutation-with-ties of 1..=n (sums match).
+        #[test]
+        fn rank_sum_invariant(xs in proptest::collection::vec(-1e3f64..1e3, 1..100)) {
+            let r = fractional_ranks(&xs);
+            let n = xs.len() as f64;
+            let expect = n * (n + 1.0) / 2.0;
+            prop_assert!((r.iter().sum::<f64>() - expect).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Empirical cumulative distribution functions.
+//!
+//! Used for every "CDF of X" figure in the paper (Figs. 2, 7, 10, 11).
+
+/// An empirical CDF over `f64` samples.
+///
+/// Construction sorts the samples once; evaluation is `O(log n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Ecdf {
+    sorted: Vec<f64>,
+}
+
+impl Ecdf {
+    /// Build an ECDF from samples. NaNs are rejected with a panic because a
+    /// CDF over NaN is meaningless and almost always indicates an upstream bug.
+    pub fn new(mut samples: Vec<f64>) -> Self {
+        assert!(
+            samples.iter().all(|x| !x.is_nan()),
+            "Ecdf::new: NaN sample"
+        );
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN after check"));
+        Self { sorted: samples }
+    }
+
+    /// Build from any iterator of values convertible to `f64`.
+    pub fn from_counts<I: IntoIterator<Item = u64>>(counts: I) -> Self {
+        Self::new(counts.into_iter().map(|c| c as f64).collect())
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.sorted.len()
+    }
+
+    /// Whether the ECDF holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.sorted.is_empty()
+    }
+
+    /// `F(x)`: fraction of samples `<= x`. Returns 0 for empty ECDFs.
+    pub fn eval(&self, x: f64) -> f64 {
+        if self.sorted.is_empty() {
+            return 0.0;
+        }
+        // partition_point gives the count of samples <= x.
+        let n_le = self.sorted.partition_point(|&v| v <= x);
+        n_le as f64 / self.sorted.len() as f64
+    }
+
+    /// Inverse CDF (quantile). `q` is clamped to `[0, 1]`; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        crate::quantile_sorted(&self.sorted, q)
+    }
+
+    /// Median, i.e. `quantile(0.5)`.
+    pub fn median(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// Minimum sample.
+    pub fn min(&self) -> Option<f64> {
+        self.sorted.first().copied()
+    }
+
+    /// Maximum sample.
+    pub fn max(&self) -> Option<f64> {
+        self.sorted.last().copied()
+    }
+
+    /// The sorted samples (ascending). Useful for plotting (x = value,
+    /// y = (i+1)/n).
+    pub fn samples(&self) -> &[f64] {
+        &self.sorted
+    }
+
+    /// Evaluate at a fixed set of points, producing `(x, F(x))` pairs — the
+    /// series a plotting frontend would consume.
+    pub fn series(&self, points: &[f64]) -> Vec<(f64, f64)> {
+        points.iter().map(|&x| (x, self.eval(x))).collect()
+    }
+
+    /// Produce a step-function series with one point per distinct sample
+    /// value: `(value, F(value))`.
+    pub fn step_series(&self) -> Vec<(f64, f64)> {
+        let n = self.sorted.len() as f64;
+        let mut out: Vec<(f64, f64)> = Vec::new();
+        for (i, &v) in self.sorted.iter().enumerate() {
+            let y = (i + 1) as f64 / n;
+            match out.last_mut() {
+                Some(last) if last.0 == v => last.1 = y,
+                _ => out.push((v, y)),
+            }
+        }
+        out
+    }
+
+    /// Fraction of samples strictly greater than `x` (the CCDF).
+    pub fn ccdf(&self, x: f64) -> f64 {
+        1.0 - self.eval(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_counts_inclusive() {
+        let e = Ecdf::new(vec![1.0, 2.0, 2.0, 3.0]);
+        assert_eq!(e.eval(0.5), 0.0);
+        assert_eq!(e.eval(1.0), 0.25);
+        assert_eq!(e.eval(2.0), 0.75);
+        assert_eq!(e.eval(3.0), 1.0);
+        assert_eq!(e.eval(99.0), 1.0);
+    }
+
+    #[test]
+    fn quantiles_round_trip_at_extremes() {
+        let e = Ecdf::new(vec![5.0, 1.0, 3.0]);
+        assert_eq!(e.quantile(0.0), Some(1.0));
+        assert_eq!(e.quantile(1.0), Some(5.0));
+        assert_eq!(e.min(), Some(1.0));
+        assert_eq!(e.max(), Some(5.0));
+    }
+
+    #[test]
+    fn empty_ecdf_behaves() {
+        let e = Ecdf::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.eval(1.0), 0.0);
+        assert_eq!(e.quantile(0.5), None);
+    }
+
+    #[test]
+    fn step_series_merges_duplicates() {
+        let e = Ecdf::new(vec![1.0, 1.0, 2.0]);
+        let s = e.step_series();
+        assert_eq!(s.len(), 2);
+        assert!((s[0].1 - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(s[1], (2.0, 1.0));
+    }
+
+    #[test]
+    fn ccdf_complements_cdf() {
+        let e = Ecdf::from_counts(vec![1, 10, 100, 1000]);
+        for x in [0.0, 1.0, 10.0, 500.0, 1000.0] {
+            assert!((e.eval(x) + e.ccdf(x) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = Ecdf::new(vec![1.0, f64::NAN]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// F is monotonically non-decreasing.
+        #[test]
+        fn monotone(mut xs in proptest::collection::vec(0.0f64..1e6, 1..200),
+                    a in 0.0f64..1e6, b in 0.0f64..1e6) {
+            xs.iter_mut().for_each(|x| *x = x.floor());
+            let e = Ecdf::new(xs);
+            let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+            prop_assert!(e.eval(lo) <= e.eval(hi));
+        }
+
+        /// F(max) == 1 and F(min - 1) == 0.
+        #[test]
+        fn bounds(xs in proptest::collection::vec(0.0f64..1e6, 1..200)) {
+            let e = Ecdf::new(xs);
+            prop_assert!((e.eval(e.max().unwrap()) - 1.0).abs() < 1e-12);
+            prop_assert_eq!(e.eval(e.min().unwrap() - 1.0), 0.0);
+        }
+
+        /// quantile(F(x)) never exceeds the smallest sample strictly greater
+        /// than x (interpolated quantiles may exceed x itself, but must stay
+        /// below the next observed value).
+        #[test]
+        fn quantile_inverse(xs in proptest::collection::vec(0.0f64..1e4, 1..100)) {
+            let e = Ecdf::new(xs.clone());
+            for &x in &xs {
+                let q = e.eval(x);
+                let v = e.quantile(q).unwrap();
+                let next_above = e
+                    .samples()
+                    .iter()
+                    .copied()
+                    .find(|&s| s > x)
+                    .unwrap_or(x);
+                prop_assert!(v <= next_above + 1e-9, "quantile({q}) = {v} > {next_above}");
+            }
+        }
+    }
+}

@@ -1,0 +1,237 @@
+//! Linear and logarithmic histograms.
+//!
+//! Log-binned histograms underpin the degree-distribution work (Fig. 11) and
+//! the toot-count bins of Fig. 8 (`<10K`, `10K–100K`, `100K–1M`, `>1M`).
+
+/// Fixed-width linear histogram over `[lo, hi)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    /// Samples below `lo`.
+    pub underflow: u64,
+    /// Samples at or above `hi`.
+    pub overflow: u64,
+}
+
+impl Histogram {
+    /// Create with `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "Histogram: bins must be > 0");
+        assert!(hi > lo, "Histogram: hi must exceed lo");
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Add a sample.
+    pub fn add(&mut self, x: f64) {
+        if x < self.lo {
+            self.underflow += 1;
+        } else if x >= self.hi {
+            self.overflow += 1;
+        } else {
+            let w = (self.hi - self.lo) / self.counts.len() as f64;
+            let idx = ((x - self.lo) / w) as usize;
+            let idx = idx.min(self.counts.len() - 1); // float-edge guard
+            self.counts[idx] += 1;
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total samples including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+
+    /// `(bin_center, count)` pairs.
+    pub fn series(&self) -> Vec<(f64, u64)> {
+        let w = (self.hi - self.lo) / self.counts.len() as f64;
+        self.counts
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (self.lo + (i as f64 + 0.5) * w, c))
+            .collect()
+    }
+}
+
+/// Histogram with logarithmically spaced bin edges, for heavy-tailed counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LogHistogram {
+    /// Ascending bin edges; bin `i` covers `[edges[i], edges[i+1])`.
+    edges: Vec<f64>,
+    counts: Vec<u64>,
+    /// Samples below the first edge (including zeros).
+    pub underflow: u64,
+    /// Samples at or beyond the last edge.
+    pub overflow: u64,
+}
+
+impl LogHistogram {
+    /// `bins` log-spaced bins between `lo > 0` and `hi > lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(lo > 0.0 && hi > lo && bins > 0, "LogHistogram: bad bounds");
+        let llo = lo.ln();
+        let lhi = hi.ln();
+        let edges: Vec<f64> = (0..=bins)
+            .map(|i| (llo + (lhi - llo) * i as f64 / bins as f64).exp())
+            .collect();
+        Self {
+            counts: vec![0; bins],
+            edges,
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Build from explicit ascending edges (used for the paper's toot bins).
+    pub fn from_edges(edges: Vec<f64>) -> Self {
+        assert!(edges.len() >= 2, "need at least two edges");
+        assert!(
+            edges.windows(2).all(|w| w[0] < w[1]),
+            "edges must be strictly ascending"
+        );
+        let n = edges.len() - 1;
+        Self {
+            edges,
+            counts: vec![0; n],
+            underflow: 0,
+            overflow: 0,
+        }
+    }
+
+    /// Index of the bin containing `x`, if in range.
+    pub fn bin_of(&self, x: f64) -> Option<usize> {
+        if x < self.edges[0] {
+            return None;
+        }
+        if x >= *self.edges.last().unwrap() {
+            return None;
+        }
+        // binary search for the rightmost edge <= x
+        let i = self.edges.partition_point(|&e| e <= x) - 1;
+        Some(i.min(self.counts.len() - 1))
+    }
+
+    /// Add a sample.
+    pub fn add(&mut self, x: f64) {
+        match self.bin_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None if x < self.edges[0] => self.underflow += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Bin edges.
+    pub fn edges(&self) -> &[f64] {
+        &self.edges
+    }
+
+    /// Total samples including under/overflow.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum::<u64>() + self.underflow + self.overflow
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_histogram_bins_correctly() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.add(i as f64 + 0.5);
+        }
+        assert_eq!(h.counts(), &[1; 10]);
+        assert_eq!(h.total(), 10);
+    }
+
+    #[test]
+    fn linear_histogram_overflow_underflow() {
+        let mut h = Histogram::new(0.0, 1.0, 2);
+        h.add(-1.0);
+        h.add(5.0);
+        h.add(1.0); // hi is exclusive
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.total(), 3);
+    }
+
+    #[test]
+    fn log_histogram_spacing() {
+        let h = LogHistogram::new(1.0, 1000.0, 3);
+        let e = h.edges();
+        assert!((e[0] - 1.0).abs() < 1e-9);
+        assert!((e[1] - 10.0).abs() < 1e-6);
+        assert!((e[2] - 100.0).abs() < 1e-4);
+        assert!((e[3] - 1000.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn paper_toot_bins() {
+        // Fig. 8 bins: <10K, 10K-100K, 100K-1M, >1M. We model them with
+        // explicit edges plus under/overflow for the open ends.
+        let mut h = LogHistogram::from_edges(vec![1e4, 1e5, 1e6]);
+        h.add(500.0); // <10K       -> underflow
+        h.add(5e4); //   10K-100K   -> bin 0
+        h.add(5e5); //   100K-1M    -> bin 1
+        h.add(2e6); //   >1M        -> overflow
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.counts(), &[1, 1]);
+        assert_eq!(h.overflow, 1);
+    }
+
+    #[test]
+    fn bin_of_edges_inclusive_exclusive() {
+        let h = LogHistogram::from_edges(vec![1.0, 10.0, 100.0]);
+        assert_eq!(h.bin_of(1.0), Some(0));
+        assert_eq!(h.bin_of(9.999), Some(0));
+        assert_eq!(h.bin_of(10.0), Some(1));
+        assert_eq!(h.bin_of(100.0), None);
+        assert_eq!(h.bin_of(0.5), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "ascending")]
+    fn from_edges_rejects_disorder() {
+        let _ = LogHistogram::from_edges(vec![10.0, 1.0]);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// No sample is ever lost: total == number of adds.
+        #[test]
+        fn conservation(xs in proptest::collection::vec(-1e3f64..1e7, 0..500)) {
+            let mut h = Histogram::new(0.0, 1e6, 37);
+            let mut lh = LogHistogram::new(1.0, 1e6, 13);
+            for &x in &xs {
+                h.add(x);
+                lh.add(x);
+            }
+            prop_assert_eq!(h.total(), xs.len() as u64);
+            prop_assert_eq!(lh.total(), xs.len() as u64);
+        }
+    }
+}

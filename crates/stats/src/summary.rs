@@ -1,0 +1,193 @@
+//! Five-number summaries and box-plot statistics (Fig. 8 of the paper).
+
+/// A basic distribution summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub n: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Population standard deviation.
+    pub std_dev: f64,
+    /// Minimum.
+    pub min: f64,
+    /// 25th percentile.
+    pub p25: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile.
+    pub p75: f64,
+    /// 95th percentile (used repeatedly by the paper, e.g. Fig. 7).
+    pub p95: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarise `data`; `None` on empty input.
+    pub fn of(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut v = data.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        Some(Self {
+            n: v.len(),
+            mean: crate::mean(&v)?,
+            std_dev: crate::std_dev(&v)?,
+            min: v[0],
+            p25: crate::quantile_sorted(&v, 0.25)?,
+            median: crate::quantile_sorted(&v, 0.5)?,
+            p75: crate::quantile_sorted(&v, 0.75)?,
+            p95: crate::quantile_sorted(&v, 0.95)?,
+            max: *v.last().unwrap(),
+        })
+    }
+
+    /// Interquartile range.
+    pub fn iqr(&self) -> f64 {
+        self.p75 - self.p25
+    }
+}
+
+/// Tukey box-plot statistics: quartiles, whiskers at 1.5·IQR, and outliers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BoxStats {
+    /// 25th percentile (box bottom).
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// 75th percentile (box top).
+    pub q3: f64,
+    /// Lowest sample within `q1 - 1.5·IQR`.
+    pub whisker_lo: f64,
+    /// Highest sample within `q3 + 1.5·IQR`.
+    pub whisker_hi: f64,
+    /// Samples outside the whiskers.
+    pub outliers: Vec<f64>,
+}
+
+impl BoxStats {
+    /// Compute box-plot statistics; `None` on empty input.
+    pub fn of(data: &[f64]) -> Option<Self> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut v = data.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in BoxStats input"));
+        let q1 = crate::quantile_sorted(&v, 0.25)?;
+        let median = crate::quantile_sorted(&v, 0.5)?;
+        let q3 = crate::quantile_sorted(&v, 0.75)?;
+        let iqr = q3 - q1;
+        let lo_fence = q1 - 1.5 * iqr;
+        let hi_fence = q3 + 1.5 * iqr;
+        let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
+        let whisker_hi = v
+            .iter()
+            .rev()
+            .copied()
+            .find(|&x| x <= hi_fence)
+            .unwrap_or(*v.last().unwrap());
+        let outliers = v
+            .iter()
+            .copied()
+            .filter(|&x| x < lo_fence || x > hi_fence)
+            .collect();
+        Some(Self {
+            q1,
+            median,
+            q3,
+            whisker_lo,
+            whisker_hi,
+            outliers,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_known_data() {
+        let data: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        let s = Summary::of(&data).unwrap();
+        assert_eq!(s.n, 100);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 100.0);
+        assert!((s.mean - 50.5).abs() < 1e-12);
+        assert!((s.median - 50.5).abs() < 1e-12);
+        assert!((s.p25 - 25.75).abs() < 1e-12);
+        assert!((s.p95 - 95.05).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_empty_is_none() {
+        assert!(Summary::of(&[]).is_none());
+        assert!(BoxStats::of(&[]).is_none());
+    }
+
+    #[test]
+    fn box_stats_no_outliers_for_uniform() {
+        let data: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        let b = BoxStats::of(&data).unwrap();
+        assert!(b.outliers.is_empty());
+        assert_eq!(b.whisker_lo, 0.0);
+        assert_eq!(b.whisker_hi, 19.0);
+    }
+
+    #[test]
+    fn box_stats_flags_extreme_outlier() {
+        let mut data: Vec<f64> = (0..20).map(|x| x as f64).collect();
+        data.push(1000.0);
+        let b = BoxStats::of(&data).unwrap();
+        assert_eq!(b.outliers, vec![1000.0]);
+        assert!(b.whisker_hi <= 20.0);
+    }
+
+    #[test]
+    fn box_order_invariant() {
+        let b = BoxStats::of(&[5.0, 1.0, 9.0, 3.0, 7.0]).unwrap();
+        assert!(b.whisker_lo <= b.q1);
+        assert!(b.q1 <= b.median);
+        assert!(b.median <= b.q3);
+        assert!(b.q3 <= b.whisker_hi);
+    }
+
+    #[test]
+    fn iqr_nonnegative() {
+        let s = Summary::of(&[3.0, 3.0, 3.0]).unwrap();
+        assert_eq!(s.iqr(), 0.0);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Quartile ordering always holds and whiskers bound the box.
+        #[test]
+        fn box_invariants(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+            let b = BoxStats::of(&xs).unwrap();
+            prop_assert!(b.whisker_lo <= b.q1 + 1e-9);
+            prop_assert!(b.q1 <= b.median + 1e-9);
+            prop_assert!(b.median <= b.q3 + 1e-9);
+            prop_assert!(b.q3 <= b.whisker_hi + 1e-9);
+            // every outlier is outside the whiskers
+            for o in &b.outliers {
+                prop_assert!(*o < b.whisker_lo || *o > b.whisker_hi);
+            }
+        }
+
+        /// Summary min/max bracket every other statistic.
+        #[test]
+        fn summary_bracketing(xs in proptest::collection::vec(-1e6f64..1e6, 1..300)) {
+            let s = Summary::of(&xs).unwrap();
+            for v in [s.mean, s.p25, s.median, s.p75, s.p95] {
+                prop_assert!(v >= s.min - 1e-9 && v <= s.max + 1e-9);
+            }
+        }
+    }
+}

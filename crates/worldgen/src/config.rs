@@ -1,0 +1,221 @@
+//! Generator configuration.
+//!
+//! Every knob defaults to a value calibrated against a number stated in the
+//! paper (the doc comment on each field cites it). Scale presets control how
+//! large a world is generated; the *shapes* are scale-free, so analyses on a
+//! `tiny()` world reproduce the same qualitative results as `paper_scaled()`.
+
+/// Knobs for [`crate::Generator`].
+#[derive(Debug, Clone)]
+pub struct WorldConfig {
+    /// Master seed; every stream of randomness derives from it.
+    pub seed: u64,
+    /// Number of instances (paper: 4,328).
+    pub n_instances: usize,
+    /// Number of user accounts (paper: 853K accounts in the follower graph;
+    /// scaled down by default for tractability).
+    pub n_users: usize,
+    /// Number of hosting ASes (paper: 351).
+    pub n_providers: usize,
+    /// Fraction of instances running Pleroma (paper: 3.1%).
+    pub pleroma_frac: f64,
+    /// Fraction of instances with open registration (paper: 47.8%).
+    pub open_frac: f64,
+    /// Fraction of instances that self-declare categories (paper: 697/4328).
+    pub categorised_frac: f64,
+    /// Zipf exponent of the instance-popularity (users per instance) law.
+    /// 1.4 puts ≈90% of users on the top 5% of instances (paper: 90.6%).
+    pub instance_zipf_exponent: f64,
+    /// Multiplicative user-attraction boost for open-registration instances
+    /// (paper: open instances average 613 users vs 87 for closed).
+    pub open_boost: f64,
+    /// Multiplicative user-attraction boost for adult-categorised instances
+    /// (paper: 12.3% of categorised instances hold 61% of categorised users).
+    pub adult_boost: f64,
+    /// Mean toots per user on open instances (paper: 94.8).
+    pub toots_per_user_open: f64,
+    /// Mean toots per user on closed instances (paper: 186.65).
+    pub toots_per_user_closed: f64,
+    /// Fraction of accounts that have tooted at least once (paper: 239K
+    /// tooting users were crawled; the graphs dataset has 853K accounts).
+    pub tooting_frac: f64,
+    /// Mean follower-graph out-degree (paper: 9.25M edges / 853K ≈ 10.8).
+    pub mean_out_degree: f64,
+    /// Probability a follow edge stays on the follower's own instance.
+    pub p_follow_same_instance: f64,
+    /// Probability a (remote) follow edge stays in the follower's country
+    /// (drives Fig. 6 homophily; paper: 32% of federation links are
+    /// same-country).
+    pub p_follow_same_country: f64,
+    /// Preferential-attachment strength when picking followees (1.0 = linear
+    /// PA; smaller flattens the in-degree tail).
+    pub attachment_exponent: f64,
+    /// Fraction of instances that permanently disappear during the window
+    /// (paper: 21.3% "went offline and never came back").
+    pub churn_frac: f64,
+    /// Median lifetime downtime fraction (paper: about half the instances
+    /// have <5% downtime, hence a median near 0.05).
+    pub downtime_median: f64,
+    /// Log-normal sigma of the lifetime downtime fraction (tuned so ≈11% of
+    /// instances exceed 50% downtime, per §4.4).
+    pub downtime_sigma: f64,
+    /// Fraction of instances whose certificates renew automatically.
+    /// The complement produces Fig. 9(b)'s expiry outages (6.3% of outages).
+    pub cert_auto_renew_frac: f64,
+    /// Instances participating in the synchronized Let's Encrypt cohort that
+    /// expires together on 2018-07-23 (paper: 105 instances).
+    pub cert_cohort_frac: f64,
+    /// Fraction of instances that block toot crawling (drives the 62%
+    /// coverage of the toots dataset).
+    pub crawl_blocked_frac: f64,
+    /// Mean fraction of toots set to private per instance.
+    pub private_toot_frac_mean: f64,
+    /// Twitter baseline: node count of the comparison follower graph.
+    pub twitter_users: usize,
+    /// Twitter baseline: mean out-degree (denser, flatter than Mastodon).
+    pub twitter_mean_out_degree: f64,
+    /// Twitter baseline: mean daily downtime (paper: 1.25% in 2007).
+    pub twitter_mean_downtime: f64,
+}
+
+impl WorldConfig {
+    /// Tiny world for unit tests (runs in milliseconds).
+    pub fn tiny(seed: u64) -> Self {
+        Self {
+            n_instances: 60,
+            n_users: 1_500,
+            n_providers: 30,
+            twitter_users: 1_000,
+            ..Self::base(seed)
+        }
+    }
+
+    /// Small world for integration tests and examples (≈1 s to generate).
+    pub fn small(seed: u64) -> Self {
+        Self {
+            n_instances: 433,
+            n_users: 12_000,
+            n_providers: 120,
+            twitter_users: 8_000,
+            ..Self::base(seed)
+        }
+    }
+
+    /// Bench-scale world with the paper's instance and AS counts and a
+    /// 1:7-scaled user population.
+    pub fn paper_scaled(seed: u64) -> Self {
+        Self {
+            n_instances: 4_328,
+            n_users: 120_000,
+            n_providers: 351,
+            twitter_users: 60_000,
+            ..Self::base(seed)
+        }
+    }
+
+    /// Full-scale population counts (859K accounts). Heavy: only for
+    /// explicitly opted-in experiments.
+    pub fn paper_full(seed: u64) -> Self {
+        Self {
+            n_instances: 4_328,
+            n_users: 853_000,
+            n_providers: 351,
+            twitter_users: 400_000,
+            ..Self::base(seed)
+        }
+    }
+
+    fn base(seed: u64) -> Self {
+        Self {
+            seed,
+            n_instances: 433,
+            n_users: 12_000,
+            n_providers: 120,
+            pleroma_frac: 0.031,
+            open_frac: 0.478,
+            categorised_frac: 697.0 / 4328.0,
+            instance_zipf_exponent: 1.4,
+            open_boost: 4.0,
+            adult_boost: 3.0,
+            toots_per_user_open: 94.8,
+            toots_per_user_closed: 186.65,
+            tooting_frac: 239.0 / 853.0,
+            mean_out_degree: 10.8,
+            p_follow_same_instance: 0.30,
+            p_follow_same_country: 0.40,
+            attachment_exponent: 1.0,
+            churn_frac: 0.213,
+            downtime_median: 0.05,
+            downtime_sigma: 1.88,
+            cert_auto_renew_frac: 0.93,
+            cert_cohort_frac: 105.0 / 4328.0,
+            crawl_blocked_frac: 0.25,
+            private_toot_frac_mean: 0.125,
+            twitter_users: 8_000,
+            twitter_mean_out_degree: 14.0,
+            twitter_mean_downtime: 0.0125,
+        }
+    }
+}
+
+impl Default for WorldConfig {
+    fn default() -> Self {
+        Self::small(42)
+    }
+}
+
+/// SplitMix64: derive independent sub-seeds from the master seed so adding a
+/// new randomness consumer never perturbs existing streams.
+pub fn sub_seed(master: u64, stream: u64) -> u64 {
+    let mut z = master ^ stream.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_scale_monotonically() {
+        let t = WorldConfig::tiny(1);
+        let s = WorldConfig::small(1);
+        let p = WorldConfig::paper_scaled(1);
+        assert!(t.n_instances < s.n_instances);
+        assert!(s.n_instances < p.n_instances);
+        assert!(t.n_users < s.n_users);
+        assert_eq!(p.n_instances, 4_328);
+        assert_eq!(p.n_providers, 351);
+    }
+
+    #[test]
+    fn calibration_constants_match_paper() {
+        let c = WorldConfig::default();
+        assert!((c.pleroma_frac - 0.031).abs() < 1e-9);
+        assert!((c.open_frac - 0.478).abs() < 1e-9);
+        assert!((c.churn_frac - 0.213).abs() < 1e-9);
+        assert!((c.toots_per_user_open - 94.8).abs() < 1e-9);
+        assert!((c.toots_per_user_closed - 186.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sub_seed_streams_differ() {
+        let a = sub_seed(42, 1);
+        let b = sub_seed(42, 2);
+        let c = sub_seed(43, 1);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        // deterministic
+        assert_eq!(a, sub_seed(42, 1));
+    }
+
+    #[test]
+    fn sub_seed_avalanche() {
+        // flipping one master bit should flip roughly half the output bits
+        let x = sub_seed(0, 7);
+        let y = sub_seed(1, 7);
+        let flipped = (x ^ y).count_ones();
+        assert!((16..=48).contains(&flipped), "weak diffusion: {flipped}");
+    }
+}

@@ -1,0 +1,142 @@
+//! Daily growth series (Fig. 1): instances / users / toots per day.
+
+use fediscope_model::schedule::AvailabilitySchedule;
+use fediscope_model::time::{Day, EPOCHS_PER_DAY, WINDOW_DAYS};
+use fediscope_model::world::GrowthPoint;
+
+/// Piecewise-linear CDF of cumulative *user registrations* over the window:
+/// users keep growing through the Jul–Dec 2017 instance plateau ("the user
+/// population continues to grow during this period (by 22%)") and through
+/// the 2018 burst.
+const USER_CDF: [(u32, f64); 5] = [
+    (0, 0.25),
+    (50, 0.45),
+    (81, 0.52),
+    (264, 0.635),
+    (471, 1.00),
+];
+
+fn interp_cdf(cdf: &[(u32, f64)], day: u32) -> f64 {
+    if day <= cdf[0].0 {
+        return cdf[0].1;
+    }
+    for w in cdf.windows(2) {
+        let (d0, c0) = w[0];
+        let (d1, c1) = w[1];
+        if day <= d1 {
+            let frac = (day - d0) as f64 / (d1 - d0) as f64;
+            return c0 + frac * (c1 - c0);
+        }
+    }
+    cdf.last().unwrap().1
+}
+
+/// Cumulative toot fraction by day: starts at 8% (pre-window history) and
+/// accelerates super-linearly as the user base grows.
+fn toot_fraction(day: u32) -> f64 {
+    0.08 + 0.92 * (day as f64 / (WINDOW_DAYS - 1) as f64).powf(1.7)
+}
+
+/// Build the daily series. "Available instances" samples each instance's
+/// schedule at noon, so instance-level churn and outages show up as the
+/// fluctuations the paper describes.
+pub fn series(
+    schedules: &[AvailabilitySchedule],
+    total_users: u64,
+    total_toots: u64,
+) -> Vec<GrowthPoint> {
+    (0..WINDOW_DAYS)
+        .map(|d| {
+            let noon = Day(d).start_epoch().saturating_add(EPOCHS_PER_DAY / 2);
+            let up = schedules.iter().filter(|s| s.is_up(noon)).count() as u32;
+            GrowthPoint {
+                instances: up,
+                users: (total_users as f64 * interp_cdf(&USER_CDF, d)).round() as u32,
+                toots: (total_toots as f64 * toot_fraction(d)).round() as u64,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_model::schedule::OutageCause;
+
+    #[test]
+    fn series_has_one_point_per_day() {
+        let schedules = vec![AvailabilitySchedule::always_up(); 10];
+        let s = series(&schedules, 1000, 100_000);
+        assert_eq!(s.len(), WINDOW_DAYS as usize);
+        assert!(s.iter().all(|p| p.instances == 10));
+    }
+
+    #[test]
+    fn users_and_toots_monotone() {
+        let schedules = vec![AvailabilitySchedule::always_up(); 3];
+        let s = series(&schedules, 5000, 1_000_000);
+        for w in s.windows(2) {
+            assert!(w[1].users >= w[0].users);
+            assert!(w[1].toots >= w[0].toots);
+        }
+        assert_eq!(s.last().unwrap().users, 5000);
+        assert_eq!(s.last().unwrap().toots, 1_000_000);
+    }
+
+    #[test]
+    fn outage_shows_as_dip() {
+        let mut bad = AvailabilitySchedule::always_up();
+        bad.add_outage(
+            Day(100).start_epoch(),
+            Day(101).end_epoch(),
+            OutageCause::Organic,
+        );
+        let schedules = vec![AvailabilitySchedule::always_up(), bad];
+        let s = series(&schedules, 10, 10);
+        assert_eq!(s[99].instances, 2);
+        assert_eq!(s[100].instances, 1);
+        assert_eq!(s[101].instances, 1);
+        assert_eq!(s[102].instances, 2);
+    }
+
+    #[test]
+    fn late_created_instance_missing_early() {
+        let late = AvailabilitySchedule::new(Day(300), None);
+        let s = series(&[late], 1, 1);
+        assert_eq!(s[299].instances, 0);
+        assert_eq!(s[300].instances, 1);
+    }
+
+    #[test]
+    fn retired_instance_leaves_series() {
+        let gone = AvailabilitySchedule::new(Day(0), Some(Day(50)));
+        let s = series(&[gone], 1, 1);
+        assert_eq!(s[49].instances, 1);
+        assert_eq!(s[50].instances, 0);
+    }
+
+    #[test]
+    fn user_growth_through_plateau() {
+        // the paper: users grow 22% while instances plateau (days 81..264)
+        let schedules = vec![AvailabilitySchedule::always_up(); 1];
+        let s = series(&schedules, 100_000, 1);
+        let growth = s[264].users as f64 / s[81].users as f64;
+        assert!(
+            (1.1..1.4).contains(&growth),
+            "plateau user growth {growth}"
+        );
+    }
+
+    #[test]
+    fn cdf_interpolation_endpoints() {
+        assert!((interp_cdf(&USER_CDF, 0) - 0.25).abs() < 1e-12);
+        assert!((interp_cdf(&USER_CDF, 471) - 1.0).abs() < 1e-12);
+        assert!((interp_cdf(&USER_CDF, 600) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn toot_fraction_bounds() {
+        assert!(toot_fraction(0) >= 0.05);
+        assert!((toot_fraction(WINDOW_DAYS - 1) - 1.0).abs() < 1e-12);
+    }
+}

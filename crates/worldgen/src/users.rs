@@ -1,0 +1,327 @@
+//! User population generation: placement, toot counts, activity levels.
+
+use crate::config::WorldConfig;
+use fediscope_model::ids::{InstanceId, UserId};
+use fediscope_model::instance::Instance;
+use fediscope_model::taxonomy::{Activity, Category};
+use fediscope_model::user::UserProfile;
+use rand::prelude::*;
+use rand_distr::{Beta, Distribution, LogNormal};
+
+/// Toot-production multiplier for an instance, from its categories and
+/// policies. Calibrated to Fig. 3's instance-vs-toot contrasts: games
+/// (37.3% of instances, 43.4% of toots) and anime (24.6% → 37.2%) over-toot;
+/// tech (55.2% → 24.5%) and journalism under-toot; adult instances have many
+/// users but comparatively few toots per user. Advertising-friendly
+/// instances over-toot (47% of instances but 75% of toots).
+pub fn toot_multiplier(inst: &Instance) -> f64 {
+    let mut m = 1.0;
+    if inst.categories.contains(Category::Games) {
+        m *= 1.7;
+    }
+    if inst.categories.contains(Category::Anime) {
+        m *= 1.8;
+    }
+    if inst.categories.contains(Category::Tech) {
+        m *= 0.35;
+    }
+    if inst.categories.contains(Category::Journalism) {
+        m *= 0.4;
+    }
+    if inst.categories.contains(Category::Adult) {
+        m *= 0.25;
+    }
+    if inst.policies.allows(Activity::Advertising) {
+        m *= 1.5;
+    }
+    m
+}
+
+/// Cumulative-weight sampler over instances.
+struct CumSampler {
+    cum: Vec<f64>,
+}
+
+impl CumSampler {
+    fn new(weights: &[f64]) -> Self {
+        let mut cum = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w.max(0.0);
+            cum.push(acc);
+        }
+        assert!(acc > 0.0, "all-zero weights");
+        Self { cum }
+    }
+
+    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cum.last().unwrap();
+        let x = rng.gen::<f64>() * total;
+        self.cum.partition_point(|&c| c < x).min(self.cum.len() - 1)
+    }
+}
+
+/// Generate users, assign them to instances, and back-fill the per-instance
+/// aggregates (`user_count`, `toot_count`, `boosted_toots`,
+/// `active_user_pct`).
+pub fn generate<R: Rng>(
+    cfg: &WorldConfig,
+    instances: &mut [Instance],
+    popularity: &[f64],
+    rng: &mut R,
+) -> Vec<UserProfile> {
+    assert_eq!(instances.len(), popularity.len());
+    let sampler = CumSampler::new(popularity);
+
+    // Toot-count distribution: log-normal tail over *tooting* users, with a
+    // per-instance-type mean. sigma 2.0 gives the heavy tail Fig. 2(a) shows.
+    let sigma = 2.0f64;
+    let mean_factor = (sigma * sigma / 2.0).exp();
+    let mk_lognormal = |mean_target: f64| {
+        let mu = (mean_target / mean_factor).ln();
+        LogNormal::new(mu, sigma).expect("valid lognormal")
+    };
+    // mean toots per *user*; tooting users carry the whole mass.
+    let open_mean_tooting = cfg.toots_per_user_open / cfg.tooting_frac;
+    let closed_mean_tooting = cfg.toots_per_user_closed / cfg.tooting_frac;
+    let ln_open = mk_lognormal(open_mean_tooting);
+    let ln_closed = mk_lognormal(closed_mean_tooting);
+
+    // Weekly-login propensity: closed instances have the more engaged
+    // population (median activity 75% vs 50%, Fig. 2c).
+    let beta_open = Beta::new(2.2, 2.2).unwrap();
+    let beta_closed = Beta::new(5.0, 1.8).unwrap();
+
+    let mut users = Vec::with_capacity(cfg.n_users);
+    for uid in 0..cfg.n_users {
+        // Every instance starts with its administrator's account (user ids
+        // 0..n_instances are the admins); the rest follow the popularity
+        // law. This guarantees no instance is a zero-user ghost, matching
+        // the federation graph's 92%-of-instances LCC (Fig. 13).
+        let ii = if uid < instances.len() {
+            uid
+        } else {
+            sampler.sample(rng)
+        };
+        let inst = &instances[ii];
+        let toots = if rng.gen_bool(cfg.tooting_frac) {
+            let base = if inst.is_open() {
+                ln_open.sample(rng)
+            } else {
+                ln_closed.sample(rng)
+            };
+            let boosted = base * toot_multiplier(inst);
+            boosted.round().clamp(1.0, 20_000_000.0) as u32
+        } else {
+            0
+        };
+        let login: f64 = if inst.is_open() {
+            beta_open.sample(rng)
+        } else {
+            beta_closed.sample(rng)
+        };
+        users.push(UserProfile {
+            id: UserId(uid as u32),
+            instance: InstanceId(ii as u32),
+            toot_count: toots,
+            weekly_login_prob: login as f32,
+        });
+    }
+
+    // Back-fill instance aggregates.
+    let mut user_count = vec![0u32; instances.len()];
+    let mut toot_count = vec![0u64; instances.len()];
+    let mut login_sum = vec![0.0f64; instances.len()];
+    for u in &users {
+        let i = u.instance.index();
+        user_count[i] += 1;
+        toot_count[i] += u.toot_count as u64;
+        login_sum[i] += u.weekly_login_prob as f64;
+    }
+    for (i, inst) in instances.iter_mut().enumerate() {
+        inst.user_count = user_count[i];
+        inst.toot_count = toot_count[i];
+        inst.boosted_toots =
+            (toot_count[i] as f64 * rng.gen_range(0.05..0.25)).round() as u64;
+        // The instance's peak weekly activity: mean member propensity plus a
+        // small burst factor, capped at 100%.
+        inst.active_user_pct = if user_count[i] == 0 {
+            0.0
+        } else {
+            let mean_login = login_sum[i] / user_count[i] as f64;
+            (mean_login * 100.0 * rng.gen_range(1.0..1.15)).min(100.0)
+        };
+    }
+    users
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::sub_seed;
+    use fediscope_model::geo::ProviderCatalog;
+    use rand::rngs::StdRng;
+
+    fn world_pieces(seed: u64, n_inst: usize, n_users: usize) -> (Vec<Instance>, Vec<UserProfile>) {
+        let mut cfg = WorldConfig::tiny(seed);
+        cfg.n_instances = n_inst;
+        cfg.n_users = n_users;
+        let providers = ProviderCatalog::with_tail(cfg.n_providers);
+        let mut rng1 = StdRng::seed_from_u64(sub_seed(seed, 1));
+        let stage = crate::instances::generate(&cfg, &providers, &mut rng1);
+        let mut instances = stage.instances;
+        let mut rng2 = StdRng::seed_from_u64(sub_seed(seed, 2));
+        let users = generate(&cfg, &mut instances, &stage.popularity, &mut rng2);
+        (instances, users)
+    }
+
+    #[test]
+    fn aggregates_consistent() {
+        let (instances, users) = world_pieces(5, 50, 3000);
+        let mut uc = vec![0u32; 50];
+        let mut tc = vec![0u64; 50];
+        for u in &users {
+            uc[u.instance.index()] += 1;
+            tc[u.instance.index()] += u.toot_count as u64;
+        }
+        for (i, inst) in instances.iter().enumerate() {
+            assert_eq!(inst.user_count, uc[i]);
+            assert_eq!(inst.toot_count, tc[i]);
+            assert!(inst.boosted_toots <= inst.toot_count.max(1) / 2 + inst.toot_count / 3 + 1);
+        }
+    }
+
+    #[test]
+    fn population_skewed_toward_top_instances() {
+        let (instances, users) = world_pieces(7, 200, 20_000);
+        let mut counts: Vec<u32> = instances.iter().map(|i| i.user_count).collect();
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let total: u64 = counts.iter().map(|&c| c as u64).sum();
+        assert_eq!(total, users.len() as u64);
+        let top5pct: u64 = counts[..10].iter().map(|&c| c as u64).sum();
+        let share = top5pct as f64 / total as f64;
+        // Paper: 90.6%. Loose band for a small world.
+        assert!(share > 0.6, "top-5% user share only {share}");
+    }
+
+    #[test]
+    fn open_instances_attract_more_users() {
+        let (instances, _) = world_pieces(11, 400, 40_000);
+        let mean = |open: bool| {
+            let v: Vec<f64> = instances
+                .iter()
+                .filter(|i| i.is_open() == open)
+                .map(|i| i.user_count as f64)
+                .collect();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        let (mo, mc) = (mean(true), mean(false));
+        assert!(
+            mo > 2.0 * mc,
+            "open mean {mo} should dwarf closed mean {mc}"
+        );
+    }
+
+    #[test]
+    fn closed_instances_toot_more_per_capita() {
+        let (instances, _) = world_pieces(13, 400, 40_000);
+        let per_capita = |open: bool| {
+            let (t, u): (u64, u64) = instances
+                .iter()
+                .filter(|i| i.is_open() == open && i.user_count > 0)
+                .fold((0, 0), |(t, u), i| (t + i.toot_count, u + i.user_count as u64));
+            t as f64 / u.max(1) as f64
+        };
+        assert!(
+            per_capita(false) > per_capita(true),
+            "closed {} open {}",
+            per_capita(false),
+            per_capita(true)
+        );
+    }
+
+    #[test]
+    fn closed_instances_more_active() {
+        let (instances, _) = world_pieces(17, 400, 40_000);
+        let median_activity = |open: bool| {
+            let mut v: Vec<f64> = instances
+                .iter()
+                .filter(|i| i.is_open() == open && i.user_count > 0)
+                .map(|i| i.active_user_pct)
+                .collect();
+            v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            v[v.len() / 2]
+        };
+        let (mo, mc) = (median_activity(true), median_activity(false));
+        assert!(mc > mo, "closed median {mc} should exceed open median {mo}");
+        assert!(mc > 55.0 && mc <= 100.0);
+        assert!(mo > 30.0 && mo < 75.0);
+    }
+
+    #[test]
+    fn tooting_fraction_near_config() {
+        let (_, users) = world_pieces(19, 100, 20_000);
+        let tooting = users.iter().filter(|u| u.has_tooted()).count() as f64 / 20_000.0;
+        assert!((tooting - 239.0 / 853.0).abs() < 0.03, "tooting frac {tooting}");
+    }
+
+    #[test]
+    fn cum_sampler_respects_weights() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = CumSampler::new(&[1.0, 0.0, 9.0]);
+        let mut counts = [0u32; 3];
+        for _ in 0..10_000 {
+            counts[s.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 8_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero")]
+    fn cum_sampler_rejects_zero_weights() {
+        let _ = CumSampler::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn toot_multiplier_orderings() {
+        use fediscope_model::certs::{Certificate, CertificateAuthority};
+        use fediscope_model::geo::Country;
+        use fediscope_model::ids::AsId;
+        use fediscope_model::instance::{OperatorKind, Registration, Software};
+        use fediscope_model::taxonomy::{CategorySet, PolicySet};
+        use fediscope_model::time::Day;
+        let base = Instance {
+            id: InstanceId(0),
+            domain: "x".into(),
+            software: Software::Mastodon,
+            registration: Registration::Open,
+            declares_categories: true,
+            categories: CategorySet::empty(),
+            policies: PolicySet::unstated(),
+            country: Country::Japan,
+            asn: AsId(1),
+            provider_index: 0,
+            ip: 0,
+            certificate: Certificate {
+                ca: CertificateAuthority::LetsEncrypt,
+                issued: Day(0),
+                auto_renew: true,
+            },
+            created: Day(0),
+            operator: OperatorKind::Individual,
+            user_count: 0,
+            toot_count: 0,
+            boosted_toots: 0,
+            active_user_pct: 0.0,
+            crawl_allowed: true,
+            private_toot_frac: 0.0,
+        };
+        let mut anime = base.clone();
+        anime.categories.insert(Category::Anime);
+        let mut adult = base.clone();
+        adult.categories.insert(Category::Adult);
+        assert!(toot_multiplier(&anime) > toot_multiplier(&base));
+        assert!(toot_multiplier(&adult) < toot_multiplier(&base));
+    }
+}

@@ -1,0 +1,112 @@
+//! Full-pipeline integration test: generate → serve over real sockets →
+//! measure with the crawler → analyse — and verify the measurement recovers
+//! the ground truth that the direct analyses see.
+
+use fediscope::crawler::discovery::SeedList;
+use fediscope::crawler::monitor::InstanceMonitor;
+use fediscope::crawler::politeness::Politeness;
+use fediscope::crawler::toots;
+use fediscope::httpwire::Client;
+use fediscope::model::time::Epoch;
+use fediscope::monitor::observe::schedule_from_polls;
+use fediscope::prelude::*;
+use fediscope::simnet::{launch, FaultPlan, TimelineIndex};
+use std::sync::Arc;
+
+fn pipeline_world(seed: u64) -> WorldConfig {
+    let mut cfg = WorldConfig::tiny(seed);
+    cfg.n_instances = 15;
+    cfg.n_users = 300;
+    cfg.toots_per_user_open = 6.0;
+    cfg.toots_per_user_closed = 10.0;
+    cfg
+}
+
+#[tokio::test]
+async fn crawled_dataset_matches_direct_analysis() {
+    let world = Arc::new(Generator::generate_world(pipeline_world(1001)));
+    let net = launch(world.clone(), FaultPlan::default(), 9).await.unwrap();
+    let seeds = SeedList::for_simnet(&world, net.addr());
+
+    // crawl at an epoch where the world is maximally alive
+    net.state.clock.set(Epoch(20_000));
+    let dataset = toots::crawl_toots(&seeds, &Politeness::fast(), &Client::default()).await;
+
+    // Every successfully crawled instance's count matches the ground-truth
+    // public timeline *exactly*.
+    for record in dataset.records.iter().filter(|r| r.crawled) {
+        let tl = TimelineIndex::build(&world, record.instance);
+        assert_eq!(record.home_toots, tl.total_public);
+    }
+    // Coverage is partial but substantial (the paper's 62% phenomenon:
+    // blocked instances + the downtime of the moment).
+    let coverage = dataset.coverage(world.total_toots());
+    assert!(coverage > 0.1, "coverage {coverage}");
+    net.shutdown().await;
+}
+
+#[tokio::test]
+async fn monitoring_reconstructs_outage_structure() {
+    let world = Arc::new(Generator::generate_world(pipeline_world(1002)));
+    let net = launch(world.clone(), FaultPlan::default(), 9).await.unwrap();
+    let seeds = SeedList::for_simnet(&world, net.addr());
+    let mut monitor = InstanceMonitor::new(seeds, Politeness::fast());
+
+    // Poll densely across a slice of the window (every ~6 hours of virtual
+    // time for the first 60 days).
+    let mut epoch = 0u32;
+    while epoch < 60 * 288 {
+        net.state.clock.set(Epoch(epoch));
+        monitor.poll_all(Epoch(epoch)).await;
+        epoch += 72;
+    }
+    let dataset = monitor.into_dataset();
+
+    // Reconstruct schedules from the polls and compare the *observed*
+    // downtime against ground truth over the polled slice.
+    for series in &dataset.series {
+        let truth = &world.schedules[series.instance.index()];
+        let Some(observed) = schedule_from_polls(series) else {
+            continue;
+        };
+        // At 6-hour sampling the reconstruction can miss sub-sample blips,
+        // so compare coarse downtime fractions.
+        let polled: Vec<_> = series.polls.iter().collect();
+        let truth_down = polled
+            .iter()
+            .filter(|(e, _)| !truth.is_up(*e))
+            .count() as f64
+            / polled.len() as f64;
+        let obs_down = series.downtime_fraction().unwrap_or(0.0);
+        assert!(
+            (truth_down - obs_down).abs() < 1e-9,
+            "poll-level downtime must match exactly for {}",
+            series.instance
+        );
+        // and the reconstructed schedule agrees with the polls it came from
+        for (e, r) in &series.polls {
+            if *e < observed.death_epoch() {
+                assert_eq!(
+                    observed.is_up(*e),
+                    r.is_up(),
+                    "reconstruction disagrees at epoch {}",
+                    e.0
+                );
+            }
+        }
+    }
+    net.shutdown().await;
+}
+
+#[test]
+fn direct_analyses_pass_verdicts() {
+    let world = Generator::generate_world(WorldConfig::small(42));
+    let obs = fediscope::core::Observatory::new(world);
+    let verdicts = fediscope::core::verdicts::evaluate(&obs, true);
+    let failures: Vec<&str> = verdicts
+        .iter()
+        .filter(|v| !v.pass)
+        .map(|v| v.id)
+        .collect();
+    assert!(failures.is_empty(), "failed: {failures:?}");
+}
