@@ -1,0 +1,133 @@
+//! `bench_graph` — pin the incremental resilience engine's speedup and
+//! record a trajectory point in `BENCH_graph.json`.
+//!
+//! ```text
+//! bench_graph [--quick] [--seed N] [--out PATH]
+//! ```
+//!
+//! Full mode builds a ~100k-node / ~1M-edge power-law follower graph
+//! through the worldgen pipeline and runs the Fig. 12 attack (100 rounds of
+//! 1% top-degree removals) with both the incremental engine and the naive
+//! reference, asserting the outputs are identical and the speedup is at
+//! least 5x. `--quick` shrinks the graph and round count for CI smoke runs
+//! (the identity check still holds; the speedup floor is not enforced).
+
+use fediscope_bench::bench_user_graph;
+use fediscope_graph::removal::{RankBy, RemovalSweep};
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    out: String,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        seed: 42,
+        out: "BENCH_graph.json".to_string(),
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => a.quick = true,
+            "--seed" => {
+                a.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--out" => a.out = it.next().expect("--out needs a path"),
+            "--help" | "-h" => {
+                println!("usage: bench_graph [--quick] [--seed N] [--out PATH]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    a
+}
+
+fn main() {
+    let args = parse_args();
+    let (n_users, steps, trials) = if args.quick {
+        (20_000usize, 25usize, 2usize)
+    } else {
+        (100_000usize, 100usize, 3usize)
+    };
+
+    eprintln!("generating power-law graph ({n_users} users) via worldgen …");
+    let t0 = Instant::now();
+    // The generator's realised mean degree lands well under the configured
+    // value after parallel-edge dedup; 28 yields ~1M edges at 100k users.
+    let g = bench_user_graph(n_users, 28.0, args.seed);
+    eprintln!(
+        "graph ready in {:.1?}: {} nodes, {} edges",
+        t0.elapsed(),
+        g.node_count(),
+        g.edge_count()
+    );
+
+    let sweep = RemovalSweep::new(&g);
+
+    // Warm-up + correctness: the engines must agree exactly.
+    let fast_points = sweep.iterative_fraction(0.01, steps, RankBy::DegreeIterative);
+    let naive_points = sweep.iterative_fraction_naive(0.01, steps, RankBy::DegreeIterative);
+    assert_eq!(
+        fast_points, naive_points,
+        "incremental sweep diverged from the naive reference"
+    );
+    eprintln!(
+        "identity check passed: {} sweep points, final LCC {:.2}%",
+        fast_points.len(),
+        fast_points.last().map(|p| p.lcc_node_frac * 100.0).unwrap_or(0.0)
+    );
+
+    let time = |f: &dyn Fn()| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..trials {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64());
+        }
+        best
+    };
+
+    eprintln!("timing incremental engine ({trials} trials) …");
+    let incremental_s = time(&|| {
+        sweep.iterative_fraction(0.01, steps, RankBy::DegreeIterative);
+    });
+    eprintln!("incremental: {incremental_s:.3}s");
+
+    eprintln!("timing naive engine ({trials} trials) …");
+    let naive_s = time(&|| {
+        sweep.iterative_fraction_naive(0.01, steps, RankBy::DegreeIterative);
+    });
+    eprintln!("naive:       {naive_s:.3}s");
+
+    let speedup = naive_s / incremental_s;
+    eprintln!("speedup:     {speedup:.1}x");
+
+    let json = format!(
+        "{{\"bench\":\"removal_sweep_iterative\",\"mode\":\"{mode}\",\
+         \"nodes\":{nodes},\"edges\":{edges},\"steps\":{steps},\
+         \"frac_per_round\":0.01,\"seed\":{seed},\
+         \"naive_seconds\":{naive_s:.6},\"incremental_seconds\":{incremental_s:.6},\
+         \"speedup\":{speedup:.2},\"identical_output\":true}}",
+        mode = if args.quick { "quick" } else { "full" },
+        nodes = g.node_count(),
+        edges = g.edge_count(),
+        seed = args.seed,
+    );
+    std::fs::write(&args.out, format!("{json}\n")).expect("write BENCH_graph.json");
+    println!("{json}");
+
+    if !args.quick && speedup < 5.0 {
+        eprintln!("FAIL: speedup {speedup:.1}x below the 5x acceptance floor");
+        std::process::exit(1);
+    }
+}

@@ -9,12 +9,30 @@
 #![warn(missing_docs)]
 
 use fediscope_core::Observatory;
+use fediscope_graph::DiGraph;
 use fediscope_worldgen::{Generator, WorldConfig};
 
 /// Build the standard bench observatory (seeded, small scale so a full
 /// Criterion run stays in CI-friendly time).
 pub fn bench_observatory(seed: u64) -> Observatory {
     Observatory::new(Generator::generate_world(WorldConfig::small(seed)))
+}
+
+/// Synthetic power-law follower graph for the removal-sweep benches,
+/// generated through the calibrated worldgen pipeline (same degree law as
+/// the paper's Mastodon graph, scaled to `n_users` nodes with
+/// `mean_out_degree` edges per node).
+pub fn bench_user_graph(n_users: usize, mean_out_degree: f64, seed: u64) -> DiGraph {
+    let mut cfg = WorldConfig::paper_scaled(seed);
+    cfg.n_users = n_users;
+    cfg.mean_out_degree = mean_out_degree;
+    // keep the ancillary baseline small; only the Mastodon graph is used
+    cfg.twitter_users = 1_000;
+    let world = Generator::generate_world(cfg);
+    DiGraph::from_edges(
+        world.users.len() as u32,
+        world.follows.iter().map(|&(a, b)| (a.0, b.0)),
+    )
 }
 
 #[cfg(test)]
@@ -25,5 +43,18 @@ mod tests {
     fn bench_observatory_builds() {
         let obs = bench_observatory(1);
         assert!(!obs.world.instances.is_empty());
+    }
+
+    #[test]
+    fn bench_user_graph_hits_requested_scale() {
+        // Realised mean degree lands well below the configured target after
+        // parallel-edge dedup and small-world clamps; the bench bin
+        // compensates by over-requesting. Here we only pin node count,
+        // connectivity, and that density scales with the knob.
+        let sparse = bench_user_graph(5_000, 10.0, 3);
+        assert_eq!(sparse.node_count(), 5_000);
+        assert!(sparse.edge_count() > 2 * sparse.node_count());
+        let dense = bench_user_graph(5_000, 20.0, 3);
+        assert!(dense.edge_count() > sparse.edge_count());
     }
 }

@@ -14,15 +14,23 @@
 //! binary, abbreviated).
 
 use fediscope_core::{report, verdicts, Observatory};
+#[cfg(feature = "net")]
 use fediscope_crawler::discovery::SeedList;
+#[cfg(feature = "net")]
 use fediscope_crawler::monitor::InstanceMonitor;
+#[cfg(feature = "net")]
 use fediscope_crawler::politeness::Politeness;
+#[cfg(feature = "net")]
 use fediscope_crawler::toots;
+#[cfg(feature = "net")]
 use fediscope_model::time::Epoch;
+#[cfg(feature = "net")]
 use fediscope_simnet::{launch, FaultPlan};
 use fediscope_worldgen::{Generator, WorldConfig};
+#[cfg(feature = "net")]
 use std::sync::Arc;
 
+#[cfg_attr(not(feature = "net"), allow(dead_code))]
 struct Opts {
     seed: u64,
     scale: String,
@@ -108,6 +116,25 @@ fn cmd_gen(o: &Opts) {
     }
 }
 
+#[cfg(not(feature = "net"))]
+fn cmd_serve(_o: &Opts) {
+    eprintln!(
+        "`serve` needs the networked build: recompile with `--features net` \
+         (requires the real tokio; see vendor/tokio)"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(not(feature = "net"))]
+fn cmd_crawl(_o: &Opts) {
+    eprintln!(
+        "`crawl` needs the networked build: recompile with `--features net` \
+         (requires the real tokio; see vendor/tokio)"
+    );
+    std::process::exit(2);
+}
+
+#[cfg(feature = "net")]
 fn cmd_serve(o: &Opts) {
     let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
     rt.block_on(async {
@@ -138,6 +165,7 @@ fn cmd_serve(o: &Opts) {
     });
 }
 
+#[cfg(feature = "net")]
 fn cmd_crawl(o: &Opts) {
     let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
     rt.block_on(async {

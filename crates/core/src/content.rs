@@ -27,9 +27,9 @@ pub struct Fig14RemoteRatio {
 pub fn fig14_remote_ratio(obs: &Observatory) -> Fig14RemoteRatio {
     let remote = obs.remote_toots_per_instance();
     let mut home_share = Vec::new();
-    for i in 0..obs.world.instances.len() {
+    for (i, &rem) in remote.iter().enumerate().take(obs.world.instances.len()) {
         let home = obs.toots_per_instance[i] as f64;
-        let rem = remote[i] as f64;
+        let rem = rem as f64;
         let total = home + rem;
         if total > 0.0 {
             home_share.push(home / total);

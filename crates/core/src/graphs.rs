@@ -1,6 +1,7 @@
 //! §5.1 analyses: graph structure and resilience (Figs. 11–13, Table 2).
 
 use crate::observatory::{Metric, Observatory};
+use fediscope_graph::par;
 use fediscope_graph::removal::{RankBy, RemovalSweep, SweepPoint};
 use fediscope_graph::{degree, weakly_connected};
 use fediscope_stats::{Ecdf, PowerLawFit};
@@ -109,16 +110,26 @@ pub struct Fig12UserRemoval {
 }
 
 /// Compute Fig. 12 with `steps` rounds of 1% removals.
+///
+/// The Mastodon and Twitter sweeps are independent, so they run on two
+/// threads; each sweep is deterministic, so the output does not depend on
+/// scheduling.
 pub fn fig12_user_removal(obs: &Observatory, steps: usize) -> Fig12UserRemoval {
-    let mastodon = RemovalSweep::new(obs.user_graph()).iterative_fraction(
-        0.01,
-        steps,
-        RankBy::DegreeIterative,
-    );
-    let twitter = RemovalSweep::new(obs.twitter_graph()).iterative_fraction(
-        0.01,
-        steps,
-        RankBy::DegreeIterative,
+    let (mastodon, twitter) = par::join(
+        || {
+            RemovalSweep::new(obs.user_graph()).iterative_fraction(
+                0.01,
+                steps,
+                RankBy::DegreeIterative,
+            )
+        },
+        || {
+            RemovalSweep::new(obs.twitter_graph()).iterative_fraction(
+                0.01,
+                steps,
+                RankBy::DegreeIterative,
+            )
+        },
     );
     let after_10 = twitter.get(10.min(twitter.len() - 1)).unwrap();
     Fig12UserRemoval {
@@ -159,15 +170,30 @@ pub fn fig13_federation_removal(
 
     let checkpoints: Vec<usize> = (0..=max_instances.min(fed.node_count())).collect();
     let sweep = RemovalSweep::new(fed).with_weights(weights.clone());
-    let by_instance_users = sweep.ranked(&obs.instance_order(Metric::Users), &checkpoints);
-    let by_instance_toots = sweep.ranked(&obs.instance_order(Metric::Toots), &checkpoints);
 
+    let order_users = obs.instance_order(Metric::Users);
+    let order_toots = obs.instance_order(Metric::Toots);
     let mut groups_inst = obs.as_groups(Metric::Instances);
     groups_inst.truncate(max_ases);
     let mut groups_users = obs.as_groups(Metric::Users);
     groups_users.truncate(max_ases);
-    let by_as_instances = sweep.grouped(&groups_inst);
-    let by_as_users = sweep.grouped(&groups_users);
+
+    // The four sweeps share nothing but the (immutable) sweep runner, so
+    // fan them out over threads; each is deterministic on its own.
+    let ((by_instance_users, by_instance_toots), (by_as_instances, by_as_users)) = par::join(
+        || {
+            par::join(
+                || sweep.ranked(&order_users, &checkpoints),
+                || sweep.ranked(&order_toots, &checkpoints),
+            )
+        },
+        || {
+            par::join(
+                || sweep.grouped(&groups_inst),
+                || sweep.grouped(&groups_users),
+            )
+        },
+    );
 
     // intact stats: consider only populated instances when quoting the LCC
     // coverage (isolated zero-user instances are not in the graph's edges)
@@ -184,6 +210,63 @@ pub fn fig13_federation_removal(
         by_instance_toots,
         by_as_instances,
         by_as_users,
+    }
+}
+
+/// Fig. 12's error-tolerance baseline: random removal instead of the
+/// targeted attack, averaged over Monte-Carlo trials.
+#[derive(Debug, Clone)]
+pub struct Fig12RandomBaseline {
+    /// Mean LCC node fraction after each round (index 0 = intact), averaged
+    /// across trials.
+    pub mean_lcc_frac: Vec<f64>,
+    /// Per-trial sweep points (trial-major), for spread inspection.
+    pub trials: Vec<Vec<SweepPoint>>,
+    /// Base seed the trial seeds derive from.
+    pub base_seed: u64,
+}
+
+/// Random-removal baseline on the Mastodon user graph: `trials` independent
+/// sweeps of `steps` rounds of 1% random removals.
+///
+/// Trials run in parallel via [`par::parallel_map`]; trial `i` uses seed
+/// `base_seed.wrapping_add(i)`, and results are collected in trial order,
+/// so output is identical no matter how many threads run (seed-stable).
+pub fn fig12_random_baseline(
+    obs: &Observatory,
+    steps: usize,
+    trials: usize,
+    base_seed: u64,
+) -> Fig12RandomBaseline {
+    let sweep = RemovalSweep::new(obs.user_graph());
+    let seeds: Vec<u64> = (0..trials as u64)
+        .map(|i| base_seed.wrapping_add(i))
+        .collect();
+    let trials: Vec<Vec<SweepPoint>> = par::parallel_map(&seeds, |&seed| {
+        sweep.iterative_fraction(0.01, steps, RankBy::Random { seed })
+    });
+    let rounds = trials.iter().map(Vec::len).max().unwrap_or(0);
+    let mean_lcc_frac: Vec<f64> = (0..rounds)
+        .map(|round| {
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for t in &trials {
+                if let Some(p) = t.get(round) {
+                    sum += p.lcc_node_frac;
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                sum / n as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    Fig12RandomBaseline {
+        mean_lcc_frac,
+        trials,
+        base_seed,
     }
 }
 
@@ -257,6 +340,23 @@ mod tests {
         assert!(
             f.by_as_instances[k].lcc_nodes <= f.by_instance_users[k].lcc_nodes,
             "AS removal should dominate single-instance removal"
+        );
+    }
+
+    #[test]
+    fn fig12_random_baseline_is_gentler_and_seed_stable() {
+        let o = obs();
+        let a = fig12_random_baseline(&o, 8, 4, 1234);
+        let b = fig12_random_baseline(&o, 8, 4, 1234);
+        // seed-stable regardless of thread scheduling
+        assert_eq!(a.trials, b.trials);
+        assert_eq!(a.mean_lcc_frac, b.mean_lcc_frac);
+        // random removal of ~8% degrades the LCC far less than the attack
+        let attack = fig12_user_removal(&o, 8);
+        let last = *a.mean_lcc_frac.last().unwrap();
+        assert!(
+            last > attack.mastodon.last().unwrap().lcc_node_frac,
+            "random baseline ({last}) should dominate the attack"
         );
     }
 

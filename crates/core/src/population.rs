@@ -472,7 +472,7 @@ mod tests {
     fn fig03_tech_leads_instances_adult_leads_users() {
         let o = obs();
         let f = fig03_categories(&o);
-        let row = |c: Category| f.rows.iter().find(|r| r.category == c).unwrap().clone();
+        let row = |c: Category| *f.rows.iter().find(|r| r.category == c).unwrap();
         assert!(row(Category::Tech).instance_share > row(Category::Adult).instance_share);
         // adult attracts disproportionate users
         let adult = row(Category::Adult);

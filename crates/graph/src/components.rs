@@ -4,6 +4,14 @@
 //! Component and (ii) the number of components, computed on graphs with
 //! nodes progressively removed (Figs. 12, 13). Both are supported over an
 //! `alive` mask so the removal sweeps do not need to rebuild the CSR.
+//!
+//! The removal sweeps evaluate components hundreds of times over the same
+//! graph; [`ComponentScratch`] keeps every working buffer (union-find
+//! arrays, label tables, Tarjan stacks, weight accumulators) alive across
+//! evaluations so the steady-state hot path performs **zero heap
+//! allocations per round**. The one-shot [`weakly_connected`] /
+//! [`strongly_connected`] functions are thin wrappers over a fresh scratch
+//! and produce byte-for-byte the same labels and sizes.
 
 use crate::digraph::DiGraph;
 use crate::unionfind::UnionFind;
@@ -63,118 +71,243 @@ impl ComponentInfo {
     }
 }
 
-/// Weakly connected components of the subgraph induced by `alive` nodes.
+/// Reusable working memory for repeated component computations.
 ///
-/// Edge direction is ignored. Pass `None` for the full graph.
-pub fn weakly_connected(g: &DiGraph, alive: Option<&[bool]>) -> ComponentInfo {
-    let n = g.node_count();
-    if let Some(mask) = alive {
-        assert_eq!(mask.len(), n, "mask length mismatch");
-    }
-    let is_alive = |v: u32| alive.map_or(true, |m| m[v as usize]);
-    let mut uf = UnionFind::new(n);
-    for (a, b) in g.edges() {
-        if is_alive(a) && is_alive(b) {
-            uf.union(a, b);
-        }
-    }
-    // Assign compact labels to alive roots.
-    let mut labels = vec![u32::MAX; n];
-    let mut sizes: Vec<u32> = Vec::new();
-    let mut root_label: std::collections::HashMap<u32, u32> = std::collections::HashMap::new();
-    for v in 0..n as u32 {
-        if !is_alive(v) {
-            continue;
-        }
-        let r = uf.find(v);
-        let label = *root_label.entry(r).or_insert_with(|| {
-            sizes.push(0);
-            (sizes.len() - 1) as u32
-        });
-        labels[v as usize] = label;
-        sizes[label as usize] += 1;
-    }
-    ComponentInfo { labels, sizes }
+/// All buffers grow to the graph size on first use and are then recycled:
+/// after warm-up, [`ComponentScratch::weakly_connected`],
+/// [`ComponentScratch::largest_weight`], and
+/// [`ComponentScratch::strongly_connected_count`] allocate nothing.
+#[derive(Debug, Clone, Default)]
+pub struct ComponentScratch {
+    // union-find over node ids
+    uf: UnionFind,
+    // per-node compact component label (u32::MAX = removed)
+    labels: Vec<u32>,
+    // per-label component size
+    sizes: Vec<u32>,
+    // root -> compact label (u32::MAX = unassigned), reset per run
+    label_of_root: Vec<u32>,
+    // per-label weight accumulator for largest_weight
+    weight_acc: Vec<f64>,
+    // iterative Tarjan state
+    tarjan_index: Vec<u32>,
+    tarjan_lowlink: Vec<u32>,
+    tarjan_on_stack: Vec<bool>,
+    tarjan_stack: Vec<u32>,
+    tarjan_work: Vec<(u32, usize)>,
+    // SCC labelling output (separate from the WCC label buffers so a
+    // weak/strong evaluation pair can share one scratch)
+    scc_labels: Vec<u32>,
+    scc_sizes: Vec<u32>,
 }
 
-/// Strongly connected components of the subgraph induced by `alive` nodes,
-/// via an iterative Tarjan (explicit stack; safe on 1M-node graphs).
-pub fn strongly_connected(g: &DiGraph, alive: Option<&[bool]>) -> ComponentInfo {
-    let n = g.node_count();
-    if let Some(mask) = alive {
-        assert_eq!(mask.len(), n, "mask length mismatch");
+/// Headline numbers of one weak-components run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WccSummary {
+    /// Size of the largest component (0 when no node is alive).
+    pub largest: u32,
+    /// Number of components.
+    pub count: usize,
+}
+
+impl ComponentScratch {
+    /// Fresh, empty scratch; buffers are sized lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
-    let is_alive = |v: u32| alive.map_or(true, |m| m[v as usize]);
 
-    const UNVISITED: u32 = u32::MAX;
-    let mut index = vec![UNVISITED; n]; // discovery index
-    let mut lowlink = vec![0u32; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<u32> = Vec::new();
-    let mut labels = vec![u32::MAX; n];
-    let mut sizes: Vec<u32> = Vec::new();
-    let mut next_index = 0u32;
-
-    // Work-stack frames: (node, next-neighbour-offset).
-    let mut work: Vec<(u32, usize)> = Vec::new();
-
-    for start in 0..n as u32 {
-        if !is_alive(start) || index[start as usize] != UNVISITED {
-            continue;
+    /// Weakly connected components of the `alive`-induced subgraph.
+    ///
+    /// Labels and sizes are left in the scratch (see [`Self::labels`] /
+    /// [`Self::sizes`]) for follow-up queries; the return value carries the
+    /// two numbers every caller wants. Identical output to
+    /// [`weakly_connected`].
+    pub fn weakly_connected(&mut self, g: &DiGraph, alive: Option<&[bool]>) -> WccSummary {
+        let n = g.node_count();
+        if let Some(mask) = alive {
+            assert_eq!(mask.len(), n, "mask length mismatch");
         }
-        work.push((start, 0));
-        index[start as usize] = next_index;
-        lowlink[start as usize] = next_index;
-        next_index += 1;
-        stack.push(start);
-        on_stack[start as usize] = true;
+        let is_alive = |v: u32| alive.is_none_or(|m| m[v as usize]);
 
-        while let Some(&mut (v, ref mut off)) = work.last_mut() {
-            let neighbors = g.out_neighbors(v);
-            let mut advanced = false;
-            while *off < neighbors.len() {
-                let w = neighbors[*off];
-                *off += 1;
-                if !is_alive(w) {
-                    continue;
-                }
-                if index[w as usize] == UNVISITED {
-                    index[w as usize] = next_index;
-                    lowlink[w as usize] = next_index;
-                    next_index += 1;
-                    stack.push(w);
-                    on_stack[w as usize] = true;
-                    work.push((w, 0));
-                    advanced = true;
-                    break;
-                } else if on_stack[w as usize] {
-                    lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
-                }
+        self.uf.reset(n);
+        for (a, b) in g.edges() {
+            if is_alive(a) && is_alive(b) {
+                self.uf.union(a, b);
             }
-            if advanced {
+        }
+
+        // Assign compact labels to alive roots, in node order (the same
+        // first-encounter order the one-shot implementation produces).
+        self.labels.clear();
+        self.labels.resize(n, u32::MAX);
+        self.sizes.clear();
+        self.label_of_root.clear();
+        self.label_of_root.resize(n, u32::MAX);
+        let mut largest = 0u32;
+        for v in 0..n as u32 {
+            if !is_alive(v) {
                 continue;
             }
-            // v finished: pop frame, propagate lowlink, maybe emit SCC root.
-            work.pop();
-            if let Some(&(parent, _)) = work.last() {
-                lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+            let r = self.uf.find(v);
+            let mut label = self.label_of_root[r as usize];
+            if label == u32::MAX {
+                label = self.sizes.len() as u32;
+                self.label_of_root[r as usize] = label;
+                self.sizes.push(0);
             }
-            if lowlink[v as usize] == index[v as usize] {
-                let label = sizes.len() as u32;
-                sizes.push(0);
-                loop {
-                    let w = stack.pop().expect("tarjan stack underflow");
-                    on_stack[w as usize] = false;
-                    labels[w as usize] = label;
-                    sizes[label as usize] += 1;
-                    if w == v {
+            self.labels[v as usize] = label;
+            self.sizes[label as usize] += 1;
+            largest = largest.max(self.sizes[label as usize]);
+        }
+        WccSummary {
+            largest,
+            count: self.sizes.len(),
+        }
+    }
+
+    /// Component labels of the most recent run (`u32::MAX` = removed).
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Component sizes of the most recent run.
+    pub fn sizes(&self) -> &[u32] {
+        &self.sizes
+    }
+
+    /// Weight of the heaviest component of the most recent
+    /// [`Self::weakly_connected`] run. Accumulation order matches
+    /// [`ComponentInfo::largest_weight`] exactly, so results are
+    /// bit-identical.
+    pub fn largest_weight(&mut self, weights: &[f64]) -> f64 {
+        assert_eq!(weights.len(), self.labels.len(), "weight length mismatch");
+        self.weight_acc.clear();
+        self.weight_acc.resize(self.sizes.len(), 0.0);
+        for (node, &label) in self.labels.iter().enumerate() {
+            if label != u32::MAX {
+                self.weight_acc[label as usize] += weights[node];
+            }
+        }
+        self.weight_acc.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of strongly connected components of the `alive`-induced
+    /// subgraph (iterative Tarjan over recycled stacks). The full
+    /// labelling is left in internal SCC buffers; the one-shot
+    /// [`strongly_connected`] function is a thin wrapper over this, so
+    /// there is exactly one Tarjan implementation in the crate.
+    pub fn strongly_connected_count(&mut self, g: &DiGraph, alive: Option<&[bool]>) -> usize {
+        let n = g.node_count();
+        if let Some(mask) = alive {
+            assert_eq!(mask.len(), n, "mask length mismatch");
+        }
+        let is_alive = |v: u32| alive.is_none_or(|m| m[v as usize]);
+
+        const UNVISITED: u32 = u32::MAX;
+        self.tarjan_index.clear();
+        self.tarjan_index.resize(n, UNVISITED);
+        self.tarjan_lowlink.clear();
+        self.tarjan_lowlink.resize(n, 0);
+        self.tarjan_on_stack.clear();
+        self.tarjan_on_stack.resize(n, false);
+        self.tarjan_stack.clear();
+        self.tarjan_work.clear();
+        self.scc_labels.clear();
+        self.scc_labels.resize(n, u32::MAX);
+        self.scc_sizes.clear();
+
+        let index = &mut self.tarjan_index;
+        let lowlink = &mut self.tarjan_lowlink;
+        let on_stack = &mut self.tarjan_on_stack;
+        let stack = &mut self.tarjan_stack;
+        let work = &mut self.tarjan_work;
+        let labels = &mut self.scc_labels;
+        let sizes = &mut self.scc_sizes;
+        let mut next_index = 0u32;
+
+        for start in 0..n as u32 {
+            if !is_alive(start) || index[start as usize] != UNVISITED {
+                continue;
+            }
+            work.push((start, 0));
+            index[start as usize] = next_index;
+            lowlink[start as usize] = next_index;
+            next_index += 1;
+            stack.push(start);
+            on_stack[start as usize] = true;
+
+            while let Some(&mut (v, ref mut off)) = work.last_mut() {
+                let neighbors = g.out_neighbors(v);
+                let mut advanced = false;
+                while *off < neighbors.len() {
+                    let w = neighbors[*off];
+                    *off += 1;
+                    if !is_alive(w) {
+                        continue;
+                    }
+                    if index[w as usize] == UNVISITED {
+                        index[w as usize] = next_index;
+                        lowlink[w as usize] = next_index;
+                        next_index += 1;
+                        stack.push(w);
+                        on_stack[w as usize] = true;
+                        work.push((w, 0));
+                        advanced = true;
                         break;
+                    } else if on_stack[w as usize] {
+                        lowlink[v as usize] = lowlink[v as usize].min(index[w as usize]);
+                    }
+                }
+                if advanced {
+                    continue;
+                }
+                work.pop();
+                if let Some(&(parent, _)) = work.last() {
+                    lowlink[parent as usize] = lowlink[parent as usize].min(lowlink[v as usize]);
+                }
+                if lowlink[v as usize] == index[v as usize] {
+                    let label = sizes.len() as u32;
+                    sizes.push(0);
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        labels[w as usize] = label;
+                        sizes[label as usize] += 1;
+                        if w == v {
+                            break;
+                        }
                     }
                 }
             }
         }
+        sizes.len()
     }
-    ComponentInfo { labels, sizes }
+}
+
+/// Weakly connected components of the subgraph induced by `alive` nodes.
+///
+/// Edge direction is ignored. Pass `None` for the full graph. One-shot
+/// wrapper over [`ComponentScratch`]; use the scratch directly in hot loops.
+pub fn weakly_connected(g: &DiGraph, alive: Option<&[bool]>) -> ComponentInfo {
+    let mut scratch = ComponentScratch::new();
+    scratch.weakly_connected(g, alive);
+    ComponentInfo {
+        labels: std::mem::take(&mut scratch.labels),
+        sizes: std::mem::take(&mut scratch.sizes),
+    }
+}
+
+/// Strongly connected components of the subgraph induced by `alive` nodes,
+/// via an iterative Tarjan (explicit stack; safe on 1M-node graphs).
+/// One-shot wrapper over [`ComponentScratch::strongly_connected_count`];
+/// use the scratch directly in hot loops.
+pub fn strongly_connected(g: &DiGraph, alive: Option<&[bool]>) -> ComponentInfo {
+    let mut scratch = ComponentScratch::new();
+    scratch.strongly_connected_count(g, alive);
+    ComponentInfo {
+        labels: std::mem::take(&mut scratch.scc_labels),
+        sizes: std::mem::take(&mut scratch.scc_sizes),
+    }
 }
 
 #[cfg(test)]

@@ -16,6 +16,15 @@ impl GraphBuilder {
         }
     }
 
+    /// Builder with room for `edges` edges pre-reserved, avoiding
+    /// reallocation churn during bulk loads.
+    pub fn with_capacity(n: u32, edges: usize) -> Self {
+        Self {
+            n,
+            edges: Vec::with_capacity(edges),
+        }
+    }
+
     /// Add a directed edge `a → b`. Self-loops are ignored (the follower
     /// semantics of the study have no self-follows). Out-of-range endpoints
     /// panic.
@@ -45,6 +54,10 @@ impl GraphBuilder {
         let n = self.n as usize;
         let m = self.edges.len();
 
+        // One scratch cursor vector serves both CSR fill passes instead of
+        // cloning each (n+1)-length offset array.
+        let mut cursor = vec![0u32; n];
+
         let mut out_offsets = vec![0u32; n + 1];
         for &(a, _) in &self.edges {
             out_offsets[a as usize + 1] += 1;
@@ -53,12 +66,10 @@ impl GraphBuilder {
             out_offsets[i + 1] += out_offsets[i];
         }
         let mut out_targets = vec![0u32; m];
-        {
-            let mut cursor = out_offsets.clone();
-            for &(a, b) in &self.edges {
-                out_targets[cursor[a as usize] as usize] = b;
-                cursor[a as usize] += 1;
-            }
+        cursor.copy_from_slice(&out_offsets[..n]);
+        for &(a, b) in &self.edges {
+            out_targets[cursor[a as usize] as usize] = b;
+            cursor[a as usize] += 1;
         }
 
         // In-adjacency (reverse CSR).
@@ -70,12 +81,10 @@ impl GraphBuilder {
             in_offsets[i + 1] += in_offsets[i];
         }
         let mut in_sources = vec![0u32; m];
-        {
-            let mut cursor = in_offsets.clone();
-            for &(a, b) in &self.edges {
-                in_sources[cursor[b as usize] as usize] = a;
-                cursor[b as usize] += 1;
-            }
+        cursor.copy_from_slice(&in_offsets[..n]);
+        for &(a, b) in &self.edges {
+            in_sources[cursor[b as usize] as usize] = a;
+            cursor[b as usize] += 1;
         }
 
         DiGraph {
@@ -101,8 +110,9 @@ pub struct DiGraph {
 impl DiGraph {
     /// Build directly from an edge list over `0..n`.
     pub fn from_edges(n: u32, edges: impl IntoIterator<Item = (u32, u32)>) -> Self {
-        let mut b = GraphBuilder::new(n);
-        b.extend(edges);
+        let iter = edges.into_iter();
+        let mut b = GraphBuilder::with_capacity(n, iter.size_hint().0);
+        b.extend(iter);
         b.build()
     }
 

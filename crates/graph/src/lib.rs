@@ -13,7 +13,10 @@
 //!   connected components via an iterative Tarjan,
 //! - [`degree`]: degree sequences and CDFs (Fig. 11),
 //! - [`removal`]: iterative top-degree removal (Fig. 12) and ranked/grouped
-//!   removal sweeps (Fig. 13),
+//!   removal sweeps (Fig. 13) — incremental, allocation-free engines with a
+//!   naive reference kept for differential testing (see `README.md` for the
+//!   complexity model),
+//! - [`par`]: deterministic parallel fan-out for independent sweeps,
 //! - [`projection`]: quotient graphs (user graph → instance federation
 //!   graph → country graph; Figs. 6, 13).
 
@@ -23,11 +26,14 @@
 pub mod components;
 pub mod degree;
 pub mod digraph;
+pub mod par;
 pub mod projection;
 pub mod removal;
 pub mod unionfind;
 
-pub use components::{strongly_connected, weakly_connected, ComponentInfo};
+pub use components::{
+    strongly_connected, weakly_connected, ComponentInfo, ComponentScratch, WccSummary,
+};
 pub use digraph::{DiGraph, GraphBuilder};
 pub use removal::{RemovalSweep, SweepPoint};
 pub use unionfind::UnionFind;

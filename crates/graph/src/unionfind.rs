@@ -1,7 +1,7 @@
 //! Disjoint-set union with path compression and union by size.
 
 /// Union-find over `0..n`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Default)]
 pub struct UnionFind {
     parent: Vec<u32>,
     size: Vec<u32>,
@@ -16,6 +16,16 @@ impl UnionFind {
             size: vec![1; n],
             components: n,
         }
+    }
+
+    /// Reinitialise to `n` singleton sets, reusing the existing buffers
+    /// (no allocation once grown to `n`).
+    pub fn reset(&mut self, n: usize) {
+        self.parent.clear();
+        self.parent.extend(0..n as u32);
+        self.size.clear();
+        self.size.resize(n, 1);
+        self.components = n;
     }
 
     /// Number of elements.

@@ -91,7 +91,7 @@ pub fn attribute_cert_outages(
         }
         for o in sched.outages() {
             let start_day = o.start.day().0;
-            if candidates.iter().any(|&c| start_day == c) {
+            if candidates.contains(&start_day) {
                 attributed += 1;
                 if (start_day as usize) < daily.len() {
                     daily[start_day as usize] += 1;

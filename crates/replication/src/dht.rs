@@ -79,9 +79,8 @@ impl HashRing {
         let h = hash64(key);
         let start = self.points.partition_point(|&(p, _)| p < h);
         let mut out: Vec<u32> = Vec::with_capacity(n);
-        let mut idx = start;
         let len = self.points.len();
-        for _ in 0..len {
+        for idx in start..start + len {
             let inst = self.points[idx % len].1;
             if !out.contains(&inst) {
                 out.push(inst);
@@ -89,7 +88,6 @@ impl HashRing {
                     break;
                 }
             }
-            idx += 1;
         }
         out
     }

@@ -68,6 +68,28 @@ pub fn availability_curve(
     }
 }
 
+/// Fold per-step lost-toot masses into a cumulative availability curve:
+/// point 0 is the intact network, point `k` subtracts all mass whose death
+/// step is `<= k`. `death[k]` is the mass first lost at step `k`; entries
+/// past `steps` are ignored. Masses are integral toot counts (well below
+/// 2^53), so f64 accumulation is exact.
+pub(crate) fn fold_availability(death: &[f64], steps: usize, total: f64) -> Vec<AvailabilityPoint> {
+    let mut lost = 0.0;
+    let mut out = Vec::with_capacity(steps + 1);
+    out.push(AvailabilityPoint {
+        removed: 0,
+        availability: 1.0,
+    });
+    for (k, &dead) in death.iter().enumerate().take(steps + 1).skip(1) {
+        lost += dead;
+        out.push(AvailabilityPoint {
+            removed: k,
+            availability: 1.0 - lost / total,
+        });
+    }
+    out
+}
+
 fn exact_curve(
     view: &ContentView,
     strategy: Strategy,
@@ -76,7 +98,7 @@ fn exact_curve(
     let steps = removal_steps(view.n_instances, groups);
     // death step per user: all holders removed
     // availability(k) = 1 - sum_{death <= k} toots / total
-    let mut death_toots = vec![0u64; groups.len() + 2]; // index by step
+    let mut death_toots = vec![0.0f64; groups.len() + 2]; // index by step
     for u in 0..view.n_users() {
         let home_step = steps[view.home[u] as usize];
         let death = match strategy {
@@ -91,24 +113,11 @@ fn exact_curve(
             Strategy::Random { .. } => unreachable!("handled elsewhere"),
         };
         if death != usize::MAX && death <= groups.len() {
-            death_toots[death] += view.toots[u];
+            death_toots[death] += view.toots[u] as f64;
         }
     }
     let total = view.total_toots.max(1) as f64;
-    let mut lost = 0u64;
-    let mut out = Vec::with_capacity(groups.len() + 1);
-    out.push(AvailabilityPoint {
-        removed: 0,
-        availability: 1.0,
-    });
-    for k in 1..=groups.len() {
-        lost += death_toots[k];
-        out.push(AvailabilityPoint {
-            removed: k,
-            availability: 1.0 - lost as f64 / total,
-        });
-    }
-    out
+    fold_availability(&death_toots, groups.len(), total)
 }
 
 /// Exact expectation for random replication: a toot with a removed home
@@ -202,20 +211,7 @@ pub fn random_monte_carlo_curve(
         }
     }
     let total = view.total_toots.max(1) as f64;
-    let mut lost = 0.0;
-    let mut out = Vec::with_capacity(groups.len() + 1);
-    out.push(AvailabilityPoint {
-        removed: 0,
-        availability: 1.0,
-    });
-    for k in 1..=groups.len() {
-        lost += death_toots[k];
-        out.push(AvailabilityPoint {
-            removed: k,
-            availability: 1.0 - lost / total,
-        });
-    }
-    out
+    fold_availability(&death_toots, groups.len(), total)
 }
 
 /// Convenience: turn a flat instance order into single-member groups.

@@ -86,19 +86,7 @@ pub fn weighted_random_curve(
         }
     }
     let total = view.total_toots.max(1) as f64;
-    let mut lost = 0.0;
-    let mut out = vec![AvailabilityPoint {
-        removed: 0,
-        availability: 1.0,
-    }];
-    for k in 1..=groups.len() {
-        lost += death_toots[k];
-        out.push(AvailabilityPoint {
-            removed: k,
-            availability: 1.0 - lost / total,
-        });
-    }
-    out
+    crate::eval::fold_availability(&death_toots, groups.len(), total)
 }
 
 #[cfg(test)]
@@ -137,13 +125,9 @@ mod tests {
         let order: Vec<u32> = (0..6u32).collect();
         let groups = singleton_groups(&order);
         let mut smart = vec![1.0; v.n_instances];
-        for i in 0..6 {
-            smart[i] = 0.001;
-        }
+        smart[..6].fill(0.001);
         let mut dumb = vec![0.001; v.n_instances];
-        for i in 0..6 {
-            dumb[i] = 1.0; // replicas pile onto the doomed instances
-        }
+        dumb[..6].fill(1.0); // replicas pile onto the doomed instances
         let s = weighted_random_curve(&v, &smart, 2, &groups, 32, 11);
         let d = weighted_random_curve(&v, &dumb, 2, &groups, 32, 11);
         let k = groups.len();

@@ -21,15 +21,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+#[cfg(feature = "net")]
 pub mod api;
 pub mod clock;
 pub mod fault;
+#[cfg(feature = "net")]
 pub mod net;
 pub mod state;
 pub mod timelines;
 
 pub use clock::SimClock;
 pub use fault::{FaultDecision, FaultInjector, FaultPlan};
+#[cfg(feature = "net")]
 pub use net::{launch, SimNetHandle};
 pub use state::SimState;
 pub use timelines::TimelineIndex;

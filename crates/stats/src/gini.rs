@@ -150,7 +150,7 @@ mod tests {
     #[test]
     fn holders_for_share_inverse_of_top_share() {
         let mut v = vec![1.0; 90];
-        v.extend(std::iter::repeat(91.0).take(10));
+        v.extend(std::iter::repeat_n(91.0, 10));
         // top 10 holders have 910 of 1000 -> to cover 50% we need few holders.
         let h = holders_for_share(&v, 0.5).unwrap();
         assert!(h <= 0.10, "h = {h}");

@@ -55,7 +55,7 @@ impl PowerLawFit {
                 continue; // too little tail to judge
             }
             let d = fit.ks_distance(samples);
-            if best.as_ref().map_or(true, |(bd, _)| d < *bd) {
+            if best.as_ref().is_none_or(|(bd, _)| d < *bd) {
                 best = Some((d, fit));
             }
         }

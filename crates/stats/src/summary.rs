@@ -81,13 +81,22 @@ impl BoxStats {
         let iqr = q3 - q1;
         let lo_fence = q1 - 1.5 * iqr;
         let hi_fence = q3 + 1.5 * iqr;
-        let whisker_lo = v.iter().copied().find(|&x| x >= lo_fence).unwrap_or(v[0]);
+        // Most extreme samples inside the fences; when every sample on a
+        // side is an outlier the whisker collapses onto the box edge
+        // (matplotlib's convention), keeping whisker_lo <= q1 <= q3 <= whisker_hi.
+        let whisker_lo = v
+            .iter()
+            .copied()
+            .find(|&x| x >= lo_fence)
+            .unwrap_or(v[0])
+            .min(q1);
         let whisker_hi = v
             .iter()
             .rev()
             .copied()
             .find(|&x| x <= hi_fence)
-            .unwrap_or(*v.last().unwrap());
+            .unwrap_or(*v.last().unwrap())
+            .max(q3);
         let outliers = v
             .iter()
             .copied()

@@ -39,9 +39,9 @@ pub fn cohort_expiry_day() -> Day {
 }
 
 /// Per-instance size-bin downtime multiplier (Fig. 8's non-monotonic
-/// pattern: <10K-toot instances are the flakiest, 100K–1M the most solid,
-/// >1M slightly worse again — "instance popularity is not a good predictor
-/// of availability").
+/// pattern: `<10K`-toot instances are the flakiest, 100K–1M the most solid,
+/// `>1M` slightly worse again — "instance popularity is not a good
+/// predictor of availability").
 fn size_multiplier(toots: u64) -> f64 {
     match toots {
         0..=9_999 => 1.2,

@@ -244,8 +244,7 @@ pub fn generate<R: Rng>(
         .filter_map(|&(name, w)| resolve(name).map(|i| (i, w)))
         .collect();
 
-    for i in 0..n {
-        let rank = rank_of[i];
+    for (i, &rank) in rank_of.iter().enumerate().take(n) {
         // The flagship instances (mstdn.jp, pawoo, mastodon.social, …) run
         // open registrations — that is *why* they are huge. Make the head
         // ranks open with high probability and rebalance the tail so the

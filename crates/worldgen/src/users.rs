@@ -178,7 +178,7 @@ mod tests {
     #[test]
     fn aggregates_consistent() {
         let (instances, users) = world_pieces(5, 50, 3000);
-        let mut uc = vec![0u32; 50];
+        let mut uc = [0u32; 50];
         let mut tc = vec![0u64; 50];
         for u in &users {
             uc[u.instance.index()] += 1;

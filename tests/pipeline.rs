@@ -2,17 +2,28 @@
 //! measure with the crawler → analyse — and verify the measurement recovers
 //! the ground truth that the direct analyses see.
 
-use fediscope::crawler::discovery::SeedList;
-use fediscope::crawler::monitor::InstanceMonitor;
-use fediscope::crawler::politeness::Politeness;
-use fediscope::crawler::toots;
-use fediscope::httpwire::Client;
-use fediscope::model::time::Epoch;
-use fediscope::monitor::observe::schedule_from_polls;
 use fediscope::prelude::*;
+
+#[cfg(feature = "net")]
+use fediscope::crawler::discovery::SeedList;
+#[cfg(feature = "net")]
+use fediscope::crawler::monitor::InstanceMonitor;
+#[cfg(feature = "net")]
+use fediscope::crawler::politeness::Politeness;
+#[cfg(feature = "net")]
+use fediscope::crawler::toots;
+#[cfg(feature = "net")]
+use fediscope::httpwire::Client;
+#[cfg(feature = "net")]
+use fediscope::model::time::Epoch;
+#[cfg(feature = "net")]
+use fediscope::monitor::observe::schedule_from_polls;
+#[cfg(feature = "net")]
 use fediscope::simnet::{launch, FaultPlan, TimelineIndex};
+#[cfg(feature = "net")]
 use std::sync::Arc;
 
+#[cfg(feature = "net")]
 fn pipeline_world(seed: u64) -> WorldConfig {
     let mut cfg = WorldConfig::tiny(seed);
     cfg.n_instances = 15;
@@ -22,6 +33,7 @@ fn pipeline_world(seed: u64) -> WorldConfig {
     cfg
 }
 
+#[cfg(feature = "net")]
 #[tokio::test]
 async fn crawled_dataset_matches_direct_analysis() {
     let world = Arc::new(Generator::generate_world(pipeline_world(1001)));
@@ -45,6 +57,7 @@ async fn crawled_dataset_matches_direct_analysis() {
     net.shutdown().await;
 }
 
+#[cfg(feature = "net")]
 #[tokio::test]
 async fn monitoring_reconstructs_outage_structure() {
     let world = Arc::new(Generator::generate_world(pipeline_world(1002)));

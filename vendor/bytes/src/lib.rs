@@ -1,0 +1,253 @@
+//! Offline stand-in for the `bytes` crate: [`Bytes`] and [`BytesMut`] with
+//! the operations the HTTP codec uses. Cheap cloning of `Bytes` is provided
+//! by an `Arc`; zero-copy slicing is not attempted (irrelevant at the
+//! traffic volumes of the simulator).
+
+use std::sync::Arc;
+
+/// Immutable, cheaply clonable byte buffer.
+#[derive(Debug, Clone, Default)]
+pub struct Bytes {
+    data: Arc<Vec<u8>>,
+}
+
+impl Bytes {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Bytes::default()
+    }
+
+    /// Buffer over a static slice (copied; compatibility constructor).
+    pub fn from_static(s: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::new(s.to_vec()),
+        }
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Is the buffer empty?
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copy into a fresh `Vec`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.data.as_ref().clone()
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes { data: Arc::new(v) }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(s: String) -> Self {
+        Bytes {
+            data: Arc::new(s.into_bytes()),
+        }
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(s: &str) -> Self {
+        Bytes {
+            data: Arc::new(s.as_bytes().to_vec()),
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(s: &[u8]) -> Self {
+        Bytes {
+            data: Arc::new(s.to_vec()),
+        }
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.data == other.data
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        **self == *other
+    }
+}
+
+impl PartialEq<&[u8]> for Bytes {
+    fn eq(&self, other: &&[u8]) -> bool {
+        **self == **other
+    }
+}
+
+/// Growable byte buffer with front consumption.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+    /// Consumed prefix length (lazily compacted).
+    head: usize,
+}
+
+impl BytesMut {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// Empty buffer with reserved capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut {
+            data: Vec::with_capacity(cap),
+            head: 0,
+        }
+    }
+
+    /// Length of the unconsumed bytes.
+    pub fn len(&self) -> usize {
+        self.data.len() - self.head
+    }
+
+    /// Is the unconsumed region empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Append bytes.
+    pub fn extend_from_slice(&mut self, src: &[u8]) {
+        self.compact();
+        self.data.extend_from_slice(src);
+    }
+
+    /// Drop `n` bytes from the front.
+    pub fn advance(&mut self, n: usize) {
+        assert!(n <= self.len(), "advance past end");
+        self.head += n;
+        if self.head > 4096 && self.head * 2 > self.data.len() {
+            self.compact();
+        }
+    }
+
+    /// Split off and return the first `n` bytes.
+    pub fn split_to(&mut self, n: usize) -> BytesMut {
+        assert!(n <= self.len(), "split_to past end");
+        let out = BytesMut {
+            data: self.as_slice()[..n].to_vec(),
+            head: 0,
+        };
+        self.advance(n);
+        out
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(mut self) -> Bytes {
+        self.compact();
+        Bytes::from(self.data)
+    }
+
+    /// Reserve space for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        &self.data[self.head..]
+    }
+
+    fn compact(&mut self) {
+        if self.head > 0 {
+            self.data.drain(..self.head);
+            self.head = 0;
+        }
+    }
+}
+
+impl std::ops::Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<&[u8]> for BytesMut {
+    fn from(s: &[u8]) -> Self {
+        BytesMut {
+            data: s.to_vec(),
+            head: 0,
+        }
+    }
+}
+
+impl From<Vec<u8>> for BytesMut {
+    fn from(v: Vec<u8>) -> Self {
+        BytesMut { data: v, head: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extend_advance_split() {
+        let mut b = BytesMut::new();
+        b.extend_from_slice(b"hello world");
+        assert_eq!(b.len(), 11);
+        let head = b.split_to(6);
+        assert_eq!(&head[..], b"hello ");
+        assert_eq!(&b[..], b"world");
+        b.advance(4);
+        assert_eq!(&b[..], b"d");
+        b.extend_from_slice(b"one");
+        assert_eq!(&b[..], b"done");
+        assert_eq!(&b.freeze()[..], b"done");
+    }
+
+    #[test]
+    fn bytes_equality_and_clone() {
+        let a = Bytes::from(vec![1, 2, 3]);
+        let b = a.clone();
+        assert_eq!(a, b);
+        assert_eq!(a, &[1u8, 2, 3][..]);
+        assert_eq!(Bytes::from_static(b"xy").len(), 2);
+        assert!(Bytes::new().is_empty());
+    }
+
+    #[test]
+    fn windows_via_deref() {
+        let mut b = BytesMut::from(&b"abcd"[..]);
+        b.advance(1);
+        let w: Vec<&[u8]> = b.windows(2).collect();
+        assert_eq!(w, vec![b"bc".as_slice(), b"cd".as_slice()]);
+    }
+}

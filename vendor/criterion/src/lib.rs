@@ -1,0 +1,214 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the subset of the criterion API the workspace's benches use
+//! (`bench_function`, `benchmark_group`, `bench_with_input`, `black_box`,
+//! `criterion_group!`, `criterion_main!`) over a simple wall-clock harness:
+//! each benchmark is warmed up briefly, then timed over enough iterations
+//! to fill a short measurement window, and the median per-iteration time is
+//! printed. No statistical analysis or HTML reports.
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a value/computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for parameterised benches.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    text: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` id.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// Id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            text: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.text)
+    }
+}
+
+/// Per-benchmark timing driver.
+pub struct Bencher {
+    /// Median per-iteration time of the last `iter` call.
+    last: Option<Duration>,
+    measure_for: Duration,
+}
+
+impl Bencher {
+    /// Time `f`, storing the median per-iteration duration.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up + calibration: run until ~10% of the window is spent.
+        let calib_start = Instant::now();
+        let mut calib_iters = 0u64;
+        while calib_start.elapsed() < self.measure_for / 10 {
+            black_box(f());
+            calib_iters += 1;
+        }
+        let per_iter = calib_start.elapsed() / calib_iters.max(1) as u32;
+        // Measurement: batches of `batch` iterations, median of batch means.
+        let batch = (self.measure_for.as_nanos() / 20 / per_iter.as_nanos().max(1))
+            .clamp(1, 1_000_000) as u64;
+        let mut samples: Vec<Duration> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.measure_for || samples.len() < 5 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            samples.push(t0.elapsed() / batch as u32);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        self.last = Some(samples[samples.len() / 2]);
+    }
+}
+
+/// Top-level harness handle.
+pub struct Criterion {
+    measure_for: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // CRITERION_QUICK trims the measurement window (used by CI).
+        let quick = std::env::var("CRITERION_QUICK").is_ok()
+            || std::env::args().any(|a| a == "--quick");
+        Criterion {
+            measure_for: if quick {
+                Duration::from_millis(50)
+            } else {
+                Duration::from_millis(400)
+            },
+        }
+    }
+}
+
+fn run_one(name: &str, measure_for: Duration, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher {
+        last: None,
+        measure_for,
+    };
+    f(&mut b);
+    match b.last {
+        Some(t) => println!("bench {name:<40} {t:>12.2?}/iter"),
+        None => println!("bench {name:<40} (no iter() call)"),
+    }
+}
+
+impl Criterion {
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.measure_for, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            criterion: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Criterion API compat: sample count is ignored by this harness.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Criterion API compat: measurement time override.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.measure_for = d;
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.criterion.measure_for, &mut f);
+        self
+    }
+
+    /// Run one parameterised benchmark in the group.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        run_one(&name, self.criterion.measure_for, &mut |b| f(b, input));
+        self
+    }
+
+    /// Finish the group (no-op; exists for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_times_something() {
+        std::env::set_var("CRITERION_QUICK", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(10);
+        g.bench_function("inner", |b| b.iter(|| black_box(2 * 2)));
+        g.bench_with_input(BenchmarkId::new("param", 3), &3u32, |b, &x| {
+            b.iter(|| black_box(x * x))
+        });
+        g.finish();
+    }
+}

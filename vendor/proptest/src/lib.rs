@@ -1,0 +1,479 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the slice of the proptest API this workspace uses: the
+//! [`Strategy`] trait over ranges / tuples / `any::<T>()` / regex-lite
+//! string patterns / `collection::vec`, `prop_map`, and the [`proptest!`]
+//! macro with `prop_assert!`/`prop_assert_eq!`/`prop_assert_ne!`.
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs via `Debug` instead), and a fixed deterministic case count seeded
+//! from the test name, so failures are reproducible run-over-run.
+
+use rand::prelude::*;
+
+/// Cases each `proptest!` test runs.
+pub const CASES: usize = 64;
+
+/// The RNG handed to strategies.
+pub type TestRng = StdRng;
+
+/// Deterministic per-test RNG.
+pub fn rng_for(test_name: &str) -> TestRng {
+    // FNV-1a over the test name keeps runs stable without global state.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+/// A generator of test-case values.
+pub trait Strategy {
+    /// The value produced.
+    type Value;
+
+    /// Draw one case.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+    {
+        MapStrategy { inner: self, f }
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for MapStrategy<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_float_range_strategy!(f32, f64);
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng), self.2.generate(rng))
+    }
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Regex-lite string strategy: `&str` patterns made of literal chars and
+/// `[a-z0-9-]` classes, each optionally followed by `{m,n}`, `{n}`, `?`,
+/// `*` (0..=8) or `+` (1..=8). Covers the patterns used in this workspace.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for (chars, lo, hi) in &atoms {
+            let n = if lo == hi { *lo } else { rng.gen_range(*lo..=*hi) };
+            for _ in 0..n {
+                out.push(chars[rng.gen_range(0..chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+type Atom = (Vec<char>, usize, usize);
+
+fn parse_pattern(pat: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pat.chars().collect();
+    let mut i = 0usize;
+    let mut atoms: Vec<Atom> = Vec::new();
+    while i < chars.len() {
+        let set: Vec<char> = match chars[i] {
+            '[' => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == ']')
+                    .expect("unclosed [ in pattern")
+                    + i;
+                let mut set = Vec::new();
+                let mut j = i + 1;
+                while j < close {
+                    if j + 2 < close && chars[j + 1] == '-' {
+                        let (a, b) = (chars[j], chars[j + 2]);
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        j += 3;
+                    } else {
+                        set.push(chars[j]);
+                        j += 1;
+                    }
+                }
+                i = close + 1;
+                set
+            }
+            '\\' => {
+                i += 2;
+                vec![chars[i - 1]]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // optional repetition suffix
+        let (lo, hi) = match chars.get(i) {
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .expect("unclosed { in pattern")
+                    + i;
+                let body: String = chars[i + 1..close].iter().collect();
+                i = close + 1;
+                if let Some((a, b)) = body.split_once(',') {
+                    (a.trim().parse().unwrap(), b.trim().parse().unwrap())
+                } else {
+                    let n: usize = body.trim().parse().unwrap();
+                    (n, n)
+                }
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('*') => {
+                i += 1;
+                (0, 8)
+            }
+            Some('+') => {
+                i += 1;
+                (1, 8)
+            }
+            _ => (1, 1),
+        };
+        atoms.push((set, lo, hi));
+    }
+    atoms
+}
+
+/// `any::<T>()` support.
+pub trait Arbitrary: Sized {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64, f32);
+
+/// Strategy for any value of `T`.
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Unconstrained values of `T` (proptest's `any::<T>()`).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// Length specification accepted by [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(r: core::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            SizeRange { lo: r.start, hi: r.end - 1 }
+        }
+    }
+
+    impl From<core::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: core::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi: *r.end() }
+        }
+    }
+
+    /// Vector of values from `element`, with a length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = if self.size.lo == self.size.hi {
+                self.size.lo
+            } else {
+                rng.gen_range(self.size.lo..=self.size.hi)
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Test-case failure carrying the rendered assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+/// Common imports, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Strategy,
+    };
+    pub use crate::collection as prop_collection;
+}
+
+/// proptest's main entry: wraps `#[test]` functions whose arguments are
+/// drawn from strategies.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident ( $($arg:pat_param in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+                for __case in 0..$crate::CASES {
+                    let mut __dbg = ::std::string::String::new();
+                    $(
+                        let __tmp = $crate::Strategy::generate(&($strat), &mut __rng);
+                        __dbg.push_str(&format!(
+                            concat!(stringify!($arg), " = {:?}; "),
+                            &__tmp
+                        ));
+                        let $arg = __tmp;
+                    )+
+                    let __result: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body Ok(()) })();
+                    if let Err(e) = __result {
+                        panic!(
+                            "proptest case {}/{} failed: {}\n  inputs: {}",
+                            __case + 1, $crate::CASES, e.0, __dbg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Assert inside a `proptest!` body (fails the case, not the process).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($a), stringify!($b), __a, __b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (__a, __b) = (&$a, &$b);
+        if !(__a == __b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {} ({:?} vs {:?}; {})",
+                stringify!($a), stringify!($b), __a, __b, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => {{
+        let (__a, __b) = (&$a, &$b);
+        if __a == __b {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} != {} (both {:?})",
+                stringify!($a), stringify!($b), __a
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        /// Strategies honour their ranges.
+        #[test]
+        fn ranges_in_bounds(x in 3u32..10, y in 0f64..1.0) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y), "y = {}", y);
+        }
+
+        /// Tuple + vec composition works like upstream.
+        #[test]
+        fn vec_of_pairs(edges in super::collection::vec((0u32..5, 0u32..5), 0..20)) {
+            prop_assert!(edges.len() < 20);
+            for (a, b) in edges {
+                prop_assert!(a < 5 && b < 5);
+            }
+        }
+
+        /// Fixed-size vec form.
+        #[test]
+        fn fixed_len_vec(mask in super::collection::vec(any::<bool>(), 25)) {
+            prop_assert_eq!(mask.len(), 25);
+        }
+    }
+
+    #[test]
+    fn regex_lite_pattern() {
+        let mut rng = super::rng_for("regex");
+        for _ in 0..200 {
+            let s = Strategy::generate(&"[a-z][a-z0-9-]{0,12}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 13, "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-'));
+        }
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = super::rng_for("map");
+        let s = (0u32..10).prop_map(|v| v * 2);
+        for _ in 0..50 {
+            let v = Strategy::generate(&s, &mut rng);
+            assert!(v % 2 == 0 && v < 20);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = super::rng_for("same");
+        let mut b = super::rng_for("same");
+        let strat = super::collection::vec(0u32..100, 0..10);
+        for _ in 0..20 {
+            assert_eq!(Strategy::generate(&strat, &mut a), Strategy::generate(&strat, &mut b));
+        }
+    }
+}

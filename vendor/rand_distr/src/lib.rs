@@ -1,0 +1,182 @@
+//! Offline stand-in for the `rand_distr` crate: the distributions the
+//! worldgen calibration actually uses (`Normal`, `LogNormal`, `Beta`),
+//! implemented with Box–Muller and Marsaglia–Tsang sampling over the
+//! vendored deterministic [`rand`] core.
+
+pub use rand::distributions::Distribution;
+use rand::{Rng, RngCore};
+
+/// Parameter error for distribution constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Error;
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid distribution parameters")
+    }
+}
+
+impl std::error::Error for Error {}
+
+fn standard_normal<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    // Box–Muller; one fresh pair per call keeps the sampler stateless.
+    loop {
+        let u1: f64 = rng.gen();
+        if u1 > 0.0 {
+            let u2: f64 = rng.gen();
+            return (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        }
+    }
+}
+
+/// Normal distribution N(mean, std_dev²).
+#[derive(Debug, Clone, Copy)]
+pub struct Normal {
+    mean: f64,
+    std_dev: f64,
+}
+
+impl Normal {
+    /// New normal; `std_dev` must be finite and non-negative.
+    pub fn new(mean: f64, std_dev: f64) -> Result<Self, Error> {
+        if std_dev.is_finite() && std_dev >= 0.0 && mean.is_finite() {
+            Ok(Normal { mean, std_dev })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Normal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.mean + self.std_dev * standard_normal(rng)
+    }
+}
+
+/// Log-normal distribution: `exp(N(mu, sigma²))`.
+#[derive(Debug, Clone, Copy)]
+pub struct LogNormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl LogNormal {
+    /// New log-normal over the underlying normal's `mu`/`sigma`.
+    pub fn new(mu: f64, sigma: f64) -> Result<Self, Error> {
+        if sigma.is_finite() && sigma >= 0.0 && mu.is_finite() {
+            Ok(LogNormal { mu, sigma })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for LogNormal {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        (self.mu + self.sigma * standard_normal(rng)).exp()
+    }
+}
+
+/// Gamma(shape, scale=1) sampler via Marsaglia–Tsang, used by [`Beta`].
+fn gamma_sample<R: RngCore + ?Sized>(shape: f64, rng: &mut R) -> f64 {
+    if shape < 1.0 {
+        // Boost: Gamma(a) = Gamma(a+1) * U^(1/a).
+        let u: f64 = rng.gen();
+        return gamma_sample(shape + 1.0, rng) * u.powf(1.0 / shape);
+    }
+    let d = shape - 1.0 / 3.0;
+    let c = 1.0 / (9.0 * d).sqrt();
+    loop {
+        let x = standard_normal(rng);
+        let v = 1.0 + c * x;
+        if v <= 0.0 {
+            continue;
+        }
+        let v = v * v * v;
+        let u: f64 = rng.gen();
+        if u < 1.0 - 0.0331 * x * x * x * x {
+            return d * v;
+        }
+        if u > 0.0 && u.ln() < 0.5 * x * x + d * (1.0 - v + v.ln()) {
+            return d * v;
+        }
+    }
+}
+
+/// Beta(alpha, beta) distribution on (0, 1).
+#[derive(Debug, Clone, Copy)]
+pub struct Beta {
+    alpha: f64,
+    beta: f64,
+}
+
+impl Beta {
+    /// New Beta; both shapes must be positive and finite.
+    pub fn new(alpha: f64, beta: f64) -> Result<Self, Error> {
+        if alpha > 0.0 && beta > 0.0 && alpha.is_finite() && beta.is_finite() {
+            Ok(Beta { alpha, beta })
+        } else {
+            Err(Error)
+        }
+    }
+}
+
+impl Distribution<f64> for Beta {
+    fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+        let x = gamma_sample(self.alpha, rng);
+        let y = gamma_sample(self.beta, rng);
+        x / (x + y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::prelude::*;
+
+    fn moments(samples: &[f64]) -> (f64, f64) {
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+        (mean, var)
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let d = Normal::new(3.0, 2.0).unwrap();
+        let s: Vec<f64> = (0..200_000).map(|_| d.sample(&mut rng)).collect();
+        let (mean, var) = moments(&s);
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn lognormal_median() {
+        // Median of LogNormal(mu, sigma) is exp(mu).
+        let mut rng = StdRng::seed_from_u64(12);
+        let d = LogNormal::new(2.0f64.ln(), 1.3).unwrap();
+        let mut s: Vec<f64> = (0..100_001).map(|_| d.sample(&mut rng)).collect();
+        s.sort_by(f64::total_cmp);
+        let median = s[s.len() / 2];
+        assert!((median - 2.0).abs() < 0.1, "median {median}");
+    }
+
+    #[test]
+    fn beta_mean_and_support() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let d = Beta::new(5.0, 1.8).unwrap();
+        let s: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        assert!(s.iter().all(|&x| (0.0..=1.0).contains(&x)));
+        let (mean, _) = moments(&s);
+        let expect = 5.0 / (5.0 + 1.8);
+        assert!((mean - expect).abs() < 0.01, "mean {mean} vs {expect}");
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(Beta::new(0.0, 1.0).is_err());
+        assert!(Normal::new(f64::NAN, 1.0).is_err());
+        assert!(LogNormal::new(0.0, -1.0).is_err());
+    }
+}

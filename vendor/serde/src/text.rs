@@ -1,0 +1,329 @@
+//! JSON text layer: compact formatting and a recursive-descent parser.
+
+use crate::{Error, Map, Number, Value};
+
+/// Render `v` as compact JSON text (serde_json-compatible: no whitespace,
+/// `"` `\\` control-character escaping, shortest-ish float forms).
+pub fn format_value(v: &Value) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::Number(n) => write_number(*n, out),
+        Value::String(s) => write_string(s, out),
+        Value::Array(a) => {
+            out.push('[');
+            for (i, item) in a.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(m) => {
+            out.push('{');
+            for (i, (k, val)) in m.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_number(n: Number, out: &mut String) {
+    match n {
+        Number::U(u) => out.push_str(&u.to_string()),
+        Number::I(i) => out.push_str(&i.to_string()),
+        Number::F(f) => {
+            if f.is_finite() {
+                if f == f.trunc() && f.abs() < 1e15 {
+                    // keep the ".0" so floats survive a round-trip as floats
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            } else {
+                // serde_json serialises non-finite floats as null
+                out.push_str("null");
+            }
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parse JSON text into a [`Value`]; trailing non-whitespace is an error.
+pub fn parse_value(input: &str) -> Result<Value, Error> {
+    let bytes = input.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_any(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(Error::custom(format!("trailing input at byte {pos}")));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_any(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    skip_ws(b, pos);
+    let Some(&c) = b.get(*pos) else {
+        return Err(Error::custom("unexpected end of input"));
+    };
+    match c {
+        b'n' => expect_lit(b, pos, "null").map(|_| Value::Null),
+        b't' => expect_lit(b, pos, "true").map(|_| Value::Bool(true)),
+        b'f' => expect_lit(b, pos, "false").map(|_| Value::Bool(false)),
+        b'"' => parse_string(b, pos).map(Value::String),
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                items.push(parse_any(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Value::Array(items));
+                    }
+                    _ => return Err(Error::custom("expected ',' or ']'")),
+                }
+            }
+        }
+        b'{' => {
+            *pos += 1;
+            let mut map = Map::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = parse_string(b, pos)?;
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(Error::custom("expected ':'"));
+                }
+                *pos += 1;
+                let val = parse_any(b, pos)?;
+                map.insert(key, val);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Value::Object(map));
+                    }
+                    _ => return Err(Error::custom("expected ',' or '}'")),
+                }
+            }
+        }
+        b'-' | b'0'..=b'9' => parse_number(b, pos),
+        other => Err(Error::custom(format!("unexpected byte {other:#x}"))),
+    }
+}
+
+fn expect_lit(b: &[u8], pos: &mut usize, lit: &str) -> Result<(), Error> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(())
+    } else {
+        Err(Error::custom(format!("expected `{lit}`")))
+    }
+}
+
+fn parse_number(b: &[u8], pos: &mut usize) -> Result<Value, Error> {
+    let start = *pos;
+    if b.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    let mut is_float = false;
+    if b.get(*pos) == Some(&b'.') {
+        is_float = true;
+        *pos += 1;
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    if matches!(b.get(*pos), Some(b'e') | Some(b'E')) {
+        is_float = true;
+        *pos += 1;
+        if matches!(b.get(*pos), Some(b'+') | Some(b'-')) {
+            *pos += 1;
+        }
+        while *pos < b.len() && b[*pos].is_ascii_digit() {
+            *pos += 1;
+        }
+    }
+    let text = std::str::from_utf8(&b[start..*pos]).map_err(|_| Error::custom("bad number"))?;
+    if text.is_empty() || text == "-" {
+        return Err(Error::custom("bad number"));
+    }
+    if !is_float {
+        if let Ok(u) = text.parse::<u64>() {
+            return Ok(Value::Number(Number::U(u)));
+        }
+        if let Ok(i) = text.parse::<i64>() {
+            return Ok(Value::Number(Number::I(i)));
+        }
+    }
+    text.parse::<f64>()
+        .map(|f| Value::Number(Number::F(f)))
+        .map_err(|_| Error::custom(format!("bad number `{text}`")))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, Error> {
+    if b.get(*pos) != Some(&b'"') {
+        return Err(Error::custom("expected string"));
+    }
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let Some(&c) = b.get(*pos) else {
+            return Err(Error::custom("unterminated string"));
+        };
+        *pos += 1;
+        match c {
+            b'"' => return Ok(out),
+            b'\\' => {
+                let Some(&esc) = b.get(*pos) else {
+                    return Err(Error::custom("unterminated escape"));
+                };
+                *pos += 1;
+                match esc {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'u' => {
+                        let hi = parse_hex4(b, pos)?;
+                        let ch = if (0xD800..0xDC00).contains(&hi) {
+                            // surrogate pair
+                            if b.get(*pos) == Some(&b'\\') && b.get(*pos + 1) == Some(&b'u') {
+                                *pos += 2;
+                                let lo = parse_hex4(b, pos)?;
+                                let combined =
+                                    0x10000 + ((hi - 0xD800) << 10) + (lo.wrapping_sub(0xDC00));
+                                char::from_u32(combined)
+                            } else {
+                                None
+                            }
+                        } else {
+                            char::from_u32(hi)
+                        };
+                        out.push(ch.ok_or_else(|| Error::custom("bad \\u escape"))?);
+                    }
+                    _ => return Err(Error::custom("bad escape")),
+                }
+            }
+            _ => {
+                // Re-sync to char boundaries for multibyte UTF-8.
+                let rest = std::str::from_utf8(&b[*pos - 1..])
+                    .map_err(|_| Error::custom("invalid utf-8"))?;
+                let ch = rest.chars().next().unwrap();
+                out.push(ch);
+                *pos += ch.len_utf8() - 1;
+            }
+        }
+    }
+}
+
+fn parse_hex4(b: &[u8], pos: &mut usize) -> Result<u32, Error> {
+    if *pos + 4 > b.len() {
+        return Err(Error::custom("short \\u escape"));
+    }
+    let s = std::str::from_utf8(&b[*pos..*pos + 4]).map_err(|_| Error::custom("bad hex"))?;
+    *pos += 4;
+    u32::from_str_radix(s, 16).map_err(|_| Error::custom("bad hex"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_nested() {
+        let src = r#"{"a":[1,2.5,-3,"x\ny",true,null],"b":{"c":"é"}}"#;
+        let v = parse_value(src).unwrap();
+        assert_eq!(v["a"][1].as_f64(), Some(2.5));
+        assert_eq!(v["b"]["c"].as_str(), Some("é"));
+        let back = parse_value(&format_value(&v)).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integers_stay_integers() {
+        let v = parse_value("42").unwrap();
+        assert_eq!(v.as_u64(), Some(42));
+        assert_eq!(format_value(&v), "42");
+        let neg = parse_value("-7").unwrap();
+        assert_eq!(neg.as_i64(), Some(-7));
+    }
+
+    #[test]
+    fn floats_keep_point() {
+        assert_eq!(format_value(&Value::from(1.0f64)), "1.0");
+        assert_eq!(format_value(&Value::from(0.5f64)), "0.5");
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse_value("1 2").is_err());
+        assert!(parse_value("{").is_err());
+        assert!(parse_value("").is_err());
+    }
+
+    #[test]
+    fn escapes_round_trip() {
+        let s = Value::String("a\"b\\c\nd\u{1}".into());
+        let text = format_value(&s);
+        assert_eq!(parse_value(&text).unwrap(), s);
+    }
+}

@@ -1,0 +1,586 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! crates.io (and therefore `syn`/`quote`) is unavailable in this build
+//! environment, so the derive parses the item's `TokenStream` by hand. It
+//! supports exactly the shapes this workspace uses:
+//!
+//! - structs with named fields,
+//! - newtype structs (`struct Id(pub u32)`) — serialised as the inner value,
+//! - tuple structs — serialised as arrays,
+//! - enums with unit variants — serialised as the variant-name string,
+//! - enums with struct variants under `#[serde(tag = "...")]` (internally
+//!   tagged),
+//! - field attributes `#[serde(rename = "...")]` and
+//!   `#[serde(skip_serializing_if = "path")]`.
+//!
+//! Anything else (generics, tuple variants, untagged data enums) panics at
+//! expansion time with a clear message rather than miscompiling.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    rename: Option<String>,
+    skip_serializing_if: Option<String>,
+    tag: Option<String>,
+}
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+impl Field {
+    fn key(&self) -> String {
+        self.attrs.rename.clone().unwrap_or_else(|| self.name.clone())
+    }
+}
+
+#[derive(Debug)]
+enum VariantShape {
+    Unit,
+    /// Single unnamed field, e.g. `Up(InstanceApiInfo)`.
+    Newtype,
+    Named(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    attrs: SerdeAttrs,
+    shape: VariantShape,
+}
+
+impl Variant {
+    fn key(&self) -> String {
+        self.attrs.rename.clone().unwrap_or_else(|| self.name.clone())
+    }
+}
+
+#[derive(Debug)]
+enum Item {
+    NamedStruct { name: String, fields: Vec<Field> },
+    TupleStruct { name: String, arity: usize },
+    Enum { name: String, tag: Option<String>, variants: Vec<Variant> },
+}
+
+/// Derive `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item).parse().expect("generated Serialize impl parses")
+}
+
+/// Derive `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+fn parse_item(input: TokenStream) -> Item {
+    let mut toks = input.into_iter().peekable();
+    let mut container_attrs = SerdeAttrs::default();
+
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.next() {
+                    merge_serde_attr(&mut container_attrs, g.stream());
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected item name, got {other:?}"),
+    };
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!("serde derive stub: generic types are not supported ({name})");
+        }
+    }
+
+    match kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            other => panic!("serde derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name,
+                tag: container_attrs.tag,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde derive: unsupported enum body for {name}: {other:?}"),
+        },
+        other => panic!("serde derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Fold one `#[...]` attribute body into `attrs` when it is a serde attr.
+fn merge_serde_attr(attrs: &mut SerdeAttrs, body: TokenStream) {
+    let mut toks = body.into_iter();
+    match toks.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return, // doc comment, derive list, #[allow], …
+    }
+    let Some(TokenTree::Group(args)) = toks.next() else {
+        return;
+    };
+    let mut inner = args.stream().into_iter().peekable();
+    while let Some(tok) = inner.next() {
+        let TokenTree::Ident(key) = tok else { continue };
+        let key = key.to_string();
+        // consume `= "literal"` when present
+        let mut value = None;
+        if let Some(TokenTree::Punct(p)) = inner.peek() {
+            if p.as_char() == '=' {
+                inner.next();
+                if let Some(TokenTree::Literal(lit)) = inner.next() {
+                    value = Some(unquote(&lit.to_string()));
+                }
+            }
+        }
+        match (key.as_str(), value) {
+            ("rename", Some(v)) => attrs.rename = Some(v),
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            ("tag", Some(v)) => attrs.tag = Some(v),
+            ("default", _) | ("deny_unknown_fields", _) => {}
+            (other, _) => panic!("serde derive stub: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+fn unquote(lit: &str) -> String {
+    lit.trim_matches('"').to_string()
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let mut fields = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        let mut attrs = SerdeAttrs::default();
+        // leading attributes / visibility
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        merge_serde_attr(&mut attrs, g.stream());
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(fname) = tok else {
+            panic!("serde derive: expected field name, got {tok:?}");
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde derive: expected `:` after field name, got {other:?}"),
+        }
+        // skip the type: consume until a comma at angle-bracket depth 0
+        let mut depth = 0i32;
+        while let Some(tok) = toks.peek() {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    toks.next();
+                    break;
+                }
+                _ => {}
+            }
+            toks.next();
+        }
+        fields.push(Field {
+            name: fname.to_string(),
+            attrs,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let mut depth = 0i32;
+    let mut count = 0usize;
+    let mut any = false;
+    for tok in body {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => count += 1,
+            _ => any = true,
+        }
+    }
+    if any {
+        count + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = body.into_iter().peekable();
+    loop {
+        let mut attrs = SerdeAttrs::default();
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.next() {
+                        merge_serde_attr(&mut attrs, g.stream());
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tok) = toks.next() else { break };
+        let TokenTree::Ident(vname) = tok else {
+            panic!("serde derive: expected variant name, got {tok:?}");
+        };
+        let shape = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantShape::Named(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                if arity != 1 {
+                    panic!(
+                        "serde derive stub: {arity}-field tuple enum variants \
+                         are not supported ({vname})"
+                    );
+                }
+                toks.next();
+                VariantShape::Newtype
+            }
+            _ => VariantShape::Unit,
+        };
+        // optional discriminant (`= expr`) unsupported; commas separate
+        if let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == ',' {
+                toks.next();
+            }
+        }
+        variants.push(Variant {
+            name: vname.to_string(),
+            attrs,
+            shape,
+        });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- generation
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = String::from("let mut __m = ::serde::Map::new();\n");
+            for f in fields {
+                let insert = format!(
+                    "__m.insert(::std::string::String::from(\"{key}\"), \
+                     ::serde::Serialize::to_json_value(&self.{fname}));",
+                    key = f.key(),
+                    fname = f.name
+                );
+                if let Some(pred) = &f.attrs.skip_serializing_if {
+                    body.push_str(&format!(
+                        "if !{pred}(&self.{fname}) {{ {insert} }}\n",
+                        fname = f.name
+                    ));
+                } else {
+                    body.push_str(&insert);
+                    body.push('\n');
+                }
+            }
+            body.push_str("::serde::Value::Object(__m)");
+            impl_serialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                "::serde::Serialize::to_json_value(&self.0)".to_string()
+            } else {
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                    .collect();
+                format!("::serde::Value::Array(vec![{}])", items.join(", "))
+            };
+            impl_serialize(name, &body)
+        }
+        Item::Enum { name, tag, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match (&v.shape, tag) {
+                    (VariantShape::Unit, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::String(\
+                             ::std::string::String::from(\"{key}\")),\n",
+                            v = v.name,
+                            key = v.key()
+                        ));
+                    }
+                    (VariantShape::Newtype, None) => {
+                        arms.push_str(&format!(
+                            "{name}::{v}(__f0) => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{key}\"), \
+                             ::serde::Serialize::to_json_value(__f0)); \
+                             ::serde::Value::Object(__m) }}\n",
+                            v = v.name,
+                            key = v.key()
+                        ));
+                    }
+                    (VariantShape::Newtype, Some(_)) => {
+                        panic!(
+                            "serde derive stub: newtype variants inside tagged enums \
+                             are not supported ({})",
+                            v.name
+                        );
+                    }
+                    (VariantShape::Unit, Some(tag)) => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{tag}\"), \
+                             ::serde::Value::String(::std::string::String::from(\"{key}\"))); \
+                             ::serde::Value::Object(__m) }}\n",
+                            v = v.name,
+                            key = v.key()
+                        ));
+                    }
+                    (VariantShape::Named(fields), tag_opt) => {
+                        let binders: Vec<&str> =
+                            fields.iter().map(|f| f.name.as_str()).collect();
+                        let mut inner = String::from("let mut __m = ::serde::Map::new();\n");
+                        if let Some(tag) = tag_opt {
+                            inner.push_str(&format!(
+                                "__m.insert(::std::string::String::from(\"{tag}\"), \
+                                 ::serde::Value::String(::std::string::String::from(\"{key}\")));\n",
+                                key = v.key()
+                            ));
+                        }
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__m.insert(::std::string::String::from(\"{key}\"), \
+                                 ::serde::Serialize::to_json_value({fname}));\n",
+                                key = f.key(),
+                                fname = f.name
+                            ));
+                        }
+                        let object = "::serde::Value::Object(__m)";
+                        let result = if tag_opt.is_some() {
+                            object.to_string()
+                        } else {
+                            // externally tagged: {"Variant": {...}}
+                            format!(
+                                "{{ let mut __outer = ::serde::Map::new(); \
+                                 __outer.insert(::std::string::String::from(\"{key}\"), {object}); \
+                                 ::serde::Value::Object(__outer) }}",
+                                key = v.key()
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binders} }} => {{ {inner} {result} }}\n",
+                            v = v.name,
+                            binders = binders.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+           fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let mut body = format!(
+                "let __obj = __v.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for {name}\"))?;\n"
+            );
+            body.push_str(&format!("Ok({name} {{\n"));
+            for f in fields {
+                body.push_str(&format!(
+                    "{fname}: ::serde::Deserialize::from_json_value(\
+                     __obj.get(\"{key}\").unwrap_or(&::serde::Value::Null))?,\n",
+                    fname = f.name,
+                    key = f.key()
+                ));
+            }
+            body.push_str("})");
+            impl_deserialize(name, &body)
+        }
+        Item::TupleStruct { name, arity } => {
+            let body = if *arity == 1 {
+                format!("Ok({name}(::serde::Deserialize::from_json_value(__v)?))")
+            } else {
+                let mut b = format!(
+                    "let __arr = __v.as_array().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected array for {name}\"))?;\n\
+                     if __arr.len() != {arity} {{ return Err(::serde::Error::custom(\
+                     \"wrong tuple arity for {name}\")); }}\n"
+                );
+                let items: Vec<String> = (0..*arity)
+                    .map(|i| format!("::serde::Deserialize::from_json_value(&__arr[{i}])?"))
+                    .collect();
+                b.push_str(&format!("Ok({name}({}))", items.join(", ")));
+                b
+            };
+            impl_deserialize(name, &body)
+        }
+        Item::Enum { name, tag, variants } => {
+            let body = if let Some(tag) = tag {
+                let mut arms = String::new();
+                for v in variants {
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            arms.push_str(&format!(
+                                "\"{key}\" => Ok({name}::{v}),\n",
+                                key = v.key(),
+                                v = v.name
+                            ));
+                        }
+                        VariantShape::Newtype => unreachable!("rejected during serialize"),
+                        VariantShape::Named(fields) => {
+                            let mut ctor = format!("Ok({name}::{v} {{\n", v = v.name);
+                            for f in fields {
+                                ctor.push_str(&format!(
+                                    "{fname}: ::serde::Deserialize::from_json_value(\
+                                     __obj.get(\"{key}\").unwrap_or(&::serde::Value::Null))?,\n",
+                                    fname = f.name,
+                                    key = f.key()
+                                ));
+                            }
+                            ctor.push_str("})");
+                            arms.push_str(&format!("\"{key}\" => {ctor},\n", key = v.key()));
+                        }
+                    }
+                }
+                format!(
+                    "let __obj = __v.as_object().ok_or_else(|| \
+                     ::serde::Error::custom(\"expected object for {name}\"))?;\n\
+                     let __tag = __obj.get(\"{tag}\").and_then(::serde::Value::as_str)\
+                     .ok_or_else(|| ::serde::Error::custom(\"missing tag for {name}\"))?;\n\
+                     match __tag {{\n{arms}\
+                     __other => Err(::serde::Error::custom(format!(\
+                     \"unknown {name} variant `{{__other}}`\"))),\n}}"
+                )
+            } else {
+                // externally tagged: unit variants are strings, data
+                // variants are single-key objects {"Variant": ...}
+                let mut str_arms = String::new();
+                let mut obj_arms = String::new();
+                for v in variants {
+                    match &v.shape {
+                        VariantShape::Unit => {
+                            str_arms.push_str(&format!(
+                                "\"{key}\" => Ok({name}::{v}),\n",
+                                key = v.key(),
+                                v = v.name
+                            ));
+                        }
+                        VariantShape::Newtype => {
+                            obj_arms.push_str(&format!(
+                                "\"{key}\" => Ok({name}::{v}(\
+                                 ::serde::Deserialize::from_json_value(__inner)?)),\n",
+                                key = v.key(),
+                                v = v.name
+                            ));
+                        }
+                        VariantShape::Named(fields) => {
+                            let mut ctor = format!(
+                                "{{ let __obj = __inner.as_object().ok_or_else(|| \
+                                 ::serde::Error::custom(\"expected object\"))?; Ok({name}::{v} {{\n",
+                                v = v.name
+                            );
+                            for f in fields {
+                                ctor.push_str(&format!(
+                                    "{fname}: ::serde::Deserialize::from_json_value(\
+                                     __obj.get(\"{key}\").unwrap_or(&::serde::Value::Null))?,\n",
+                                    fname = f.name,
+                                    key = f.key()
+                                ));
+                            }
+                            ctor.push_str("}) }");
+                            obj_arms.push_str(&format!("\"{key}\" => {ctor},\n", key = v.key()));
+                        }
+                    }
+                }
+                format!(
+                    "match __v {{\n\
+                     ::serde::Value::String(__s) => match __s.as_str() {{\n{str_arms}\
+                     __other => Err(::serde::Error::custom(format!(\
+                     \"unknown {name} variant `{{__other}}`\"))),\n}},\n\
+                     ::serde::Value::Object(__map) => {{\n\
+                     let (__key, __inner) = __map.iter().next().map(|(k, v)| (k.as_str(), v))\
+                     .ok_or_else(|| ::serde::Error::custom(\"empty object for {name}\"))?;\n\
+                     match __key {{\n{obj_arms}\
+                     __other => Err(::serde::Error::custom(format!(\
+                     \"unknown {name} variant `{{__other}}`\"))),\n}}\n}}\n\
+                     _ => Err(::serde::Error::custom(\"expected string or object for {name}\")),\n\
+                     }}"
+                )
+            };
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+           fn from_json_value(__v: &::serde::Value) -> \
+           ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}"
+    )
+}

@@ -1,0 +1,148 @@
+//! Offline stand-in for `serde_json`: the text-layer facade over the
+//! vendored [`serde`] value model. Supports the workspace's full usage:
+//! `to_string`, `to_value`, `from_str`, `from_value`, `from_slice`,
+//! [`Value`] inspection/indexing, and the [`json!`] macro.
+
+pub use serde::{Error, Map, Number, Value};
+
+/// Result alias matching serde_json's.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialise to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(serde::format_value(&value.to_json_value()))
+}
+
+/// Serialise to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    fn pretty(v: &Value, indent: usize, out: &mut String) {
+        let pad = "  ".repeat(indent + 1);
+        let close = "  ".repeat(indent);
+        match v {
+            Value::Array(items) if !items.is_empty() => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad);
+                    pretty(item, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push(']');
+            }
+            Value::Object(m) if !m.is_empty() => {
+                out.push_str("{\n");
+                for (i, (k, val)) in m.iter().enumerate() {
+                    if i > 0 {
+                        out.push_str(",\n");
+                    }
+                    out.push_str(&pad);
+                    out.push_str(&serde::format_value(&Value::String(k.clone())));
+                    out.push_str(": ");
+                    pretty(val, indent + 1, out);
+                }
+                out.push('\n');
+                out.push_str(&close);
+                out.push('}');
+            }
+            other => out.push_str(&serde::format_value(other)),
+        }
+    }
+    let mut out = String::new();
+    pretty(&value.to_json_value(), 0, &mut out);
+    Ok(out)
+}
+
+/// Serialise to a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value> {
+    Ok(value.to_json_value())
+}
+
+/// Parse a value of `T` from JSON text.
+pub fn from_str<T: serde::Deserialize>(s: &str) -> Result<T> {
+    let v = serde::parse_value(s)?;
+    T::from_json_value(&v)
+}
+
+/// Parse a value of `T` from JSON bytes.
+pub fn from_slice<T: serde::Deserialize>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid utf-8"))?;
+    from_str(s)
+}
+
+/// Convert a [`Value`] into `T`.
+pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T> {
+    T::from_json_value(&v)
+}
+
+/// Build a [`Value`] with JSON-literal syntax.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut __m = $crate::Map::new();
+        $( __m.insert(::std::string::String::from($key), $crate::json!($val)); )*
+        $crate::Value::Object(__m)
+    }};
+    ($other:expr) => {
+        $crate::value_from($other)
+    };
+}
+
+/// `json!` helper: convert an expression into a [`Value`] via `Serialize`.
+pub fn value_from<T: serde::Serialize>(v: T) -> Value {
+    v.to_json_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let v = json!({
+            "uri": "mastodon.social",
+            "stats": { "user_count": 12, "status_count": 34u64 },
+            "flags": [true, false, null],
+            "ratio": 0.5,
+        });
+        assert_eq!(v["uri"].as_str(), Some("mastodon.social"));
+        assert_eq!(v["stats"]["user_count"].as_u64(), Some(12));
+        assert_eq!(v["flags"][2], Value::Null);
+        assert_eq!(v["ratio"].as_f64(), Some(0.5));
+    }
+
+    #[test]
+    fn to_string_from_str_round_trip() {
+        let v = json!({"a": [1, 2, 3], "b": "x"});
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn pretty_parses_back() {
+        let v = json!({"a": [1, {"b": 2}], "c": {}});
+        let s = to_string_pretty(&v).unwrap();
+        assert!(s.contains('\n'));
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let pairs: Vec<(u32, u32)> = vec![(1, 2), (3, 4)];
+        let s = to_string(&pairs).unwrap();
+        assert_eq!(s, "[[1,2],[3,4]]");
+        let back: Vec<(u32, u32)> = from_str(&s).unwrap();
+        assert_eq!(back, pairs);
+    }
+}

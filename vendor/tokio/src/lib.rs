@@ -1,0 +1,15 @@
+//! Placeholder for `tokio`.
+//!
+//! The build environment has no crates.io access, so the real async runtime
+//! cannot be fetched. Every module that needs tokio is feature-gated behind
+//! the non-default `net` cargo feature of its crate (`fediscope_httpwire`,
+//! `fediscope_crawler`, `fediscope_simnet`, `fediscope_cli`, and the
+//! umbrella `fediscope` crate); this empty crate only exists so workspace
+//! dependency resolution succeeds. Building *with* `net` enabled requires
+//! replacing this path dependency with the real `tokio` from crates.io
+//! (one-line change in the workspace manifest once network is available).
+
+compile_error!(
+    "the vendored tokio placeholder cannot back the `net` feature; \
+     swap it for the real crates.io tokio to build networked components"
+);
