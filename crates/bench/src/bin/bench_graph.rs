@@ -1,25 +1,38 @@
-//! `bench_graph` — pin the incremental resilience engine's speedup and
-//! record a trajectory point in `BENCH_graph.json`.
+//! `bench_graph` — pin the incremental resilience engine's speedups and
+//! record trajectory points in `BENCH_graph.json` (one JSON object per
+//! line, appended — the file is a history, not a snapshot).
 //!
 //! ```text
-//! bench_graph [--quick] [--seed N] [--out PATH]
+//! bench_graph [--quick] [--seed N] [--out PATH] [--tier paper2019|mid|modern]
 //! ```
 //!
-//! Full mode builds a ~100k-node / ~1M-edge power-law follower graph
-//! through the worldgen pipeline and runs the Fig. 12 attack (100 rounds of
-//! 1% top-degree removals) with both the incremental engine and the naive
-//! reference, asserting the outputs are identical and the speedup is at
-//! least 5x. `--quick` shrinks the graph and round count for CI smoke runs
-//! (the identity check still holds; the speedup floor is not enforced).
+//! Without `--tier`, full mode builds a ~100k-node / ~1M-edge power-law
+//! follower graph through the worldgen pipeline and runs the Fig. 12
+//! attack (100 rounds of 1% top-degree removals) twice — unweighted and
+//! with integer node weights — comparing the incremental engine against
+//! the naive reference. Output must be identical and each speedup at
+//! least 5x.
+//!
+//! With `--tier`, the named [`ScaleTier`] world's follower graph is
+//! generated through the streaming pipeline (the `modern` tier stands up
+//! ~30K instances and a 1M-account graph) and the same comparison is
+//! recorded as that tier's datapoint.
+//!
+//! `--quick` shrinks the scale and round count for CI smoke runs (the
+//! identity check still holds; the speedup floors are not enforced).
 
-use fediscope_bench::bench_user_graph;
+use fediscope_bench::{bench_user_graph, tier_user_graph};
 use fediscope_graph::removal::{RankBy, RemovalSweep};
+use fediscope_graph::DiGraph;
+use fediscope_worldgen::ScaleTier;
+use std::io::Write as _;
 use std::time::Instant;
 
 struct Args {
     quick: bool,
     seed: u64,
     out: String,
+    tier: Option<ScaleTier>,
 }
 
 fn parse_args() -> Args {
@@ -27,6 +40,7 @@ fn parse_args() -> Args {
         quick: false,
         seed: 42,
         out: "BENCH_graph.json".to_string(),
+        tier: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -39,8 +53,18 @@ fn parse_args() -> Args {
                     .expect("--seed needs a number")
             }
             "--out" => a.out = it.next().expect("--out needs a path"),
+            "--tier" => {
+                let name = it.next().expect("--tier needs a name");
+                a.tier = Some(
+                    ScaleTier::parse(&name)
+                        .unwrap_or_else(|| panic!("unknown tier {name:?} (paper2019|mid|modern)")),
+                );
+            }
             "--help" | "-h" => {
-                println!("usage: bench_graph [--quick] [--seed N] [--out PATH]");
+                println!(
+                    "usage: bench_graph [--quick] [--seed N] [--out PATH] \
+                     [--tier paper2019|mid|modern]"
+                );
                 std::process::exit(0);
             }
             other => {
@@ -52,82 +76,187 @@ fn parse_args() -> Args {
     a
 }
 
+/// Deterministic integer-valued node weights (user-count-like): integer
+/// weights make float summation order unobservable, so the engines must
+/// agree bit-for-bit.
+fn synthetic_weights(n: usize) -> Vec<f64> {
+    (0..n as u64)
+        .map(|v| (v.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 52) as f64 + 1.0)
+        .collect()
+}
+
+/// Best-of-`trials` wall time of `f`, in seconds.
+fn time(trials: usize, f: &dyn Fn()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct EngineComparison {
+    naive_s: f64,
+    incremental_s: f64,
+    speedup: f64,
+    identical: bool,
+}
+
+/// Run fast + naive engines, compare their output, time both. A
+/// divergence is *recorded* (`identical_output: false` in the JSON line —
+/// which CI greps for) rather than panicking, so the datapoint lands in
+/// the trajectory either way; main exits non-zero afterwards.
+fn compare_engines(
+    sweep: &RemovalSweep<'_>,
+    steps: usize,
+    trials: usize,
+    label: &str,
+) -> EngineComparison {
+    let fast = sweep.iterative_fraction(0.01, steps, RankBy::DegreeIterative);
+    let naive = sweep.iterative_fraction_naive(0.01, steps, RankBy::DegreeIterative);
+    let identical = fast == naive;
+    if identical {
+        eprintln!(
+            "{label}: identity check passed ({} points, final LCC {:.2}%)",
+            fast.len(),
+            fast.last().map(|p| p.lcc_node_frac * 100.0).unwrap_or(0.0)
+        );
+    } else {
+        eprintln!("{label}: FAIL — incremental sweep diverged from the naive reference");
+    }
+    let incremental_s = time(trials, &|| {
+        sweep.iterative_fraction(0.01, steps, RankBy::DegreeIterative);
+    });
+    let naive_s = time(trials, &|| {
+        sweep.iterative_fraction_naive(0.01, steps, RankBy::DegreeIterative);
+    });
+    let speedup = naive_s / incremental_s;
+    eprintln!("{label}: incremental {incremental_s:.3}s, naive {naive_s:.3}s ({speedup:.1}x)");
+    EngineComparison {
+        naive_s,
+        incremental_s,
+        speedup,
+        identical,
+    }
+}
+
+/// Append one JSON line to the trajectory file (and echo it to stdout).
+fn record(out: &str, json: &str) {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out)
+        .expect("open BENCH_graph.json");
+    writeln!(f, "{json}").expect("append BENCH_graph.json");
+    println!("{json}");
+}
+
 fn main() {
     let args = parse_args();
-    let (n_users, steps, trials) = if args.quick {
-        (20_000usize, 25usize, 2usize)
-    } else {
-        (100_000usize, 100usize, 3usize)
-    };
+    let mode = if args.quick { "quick" } else { "full" };
+    let (steps, trials) = if args.quick { (25, 2) } else { (100, 3) };
 
-    eprintln!("generating power-law graph ({n_users} users) via worldgen …");
-    let t0 = Instant::now();
-    // The generator's realised mean degree lands well under the configured
-    // value after parallel-edge dedup; 28 yields ~1M edges at 100k users.
-    let g = bench_user_graph(n_users, 28.0, args.seed);
+    let (g, gen_s, tier_name): (DiGraph, f64, Option<&'static str>) = match args.tier {
+        Some(tier) => {
+            eprintln!(
+                "generating {tier} tier world ({} instances, {} users) …",
+                tier.n_instances(),
+                tier.n_users()
+            );
+            let t0 = Instant::now();
+            let g = tier_user_graph(tier, args.seed);
+            (g, t0.elapsed().as_secs_f64(), Some(tier.name()))
+        }
+        None => {
+            let n_users = if args.quick { 20_000 } else { 100_000 };
+            eprintln!("generating power-law graph ({n_users} users) via worldgen …");
+            let t0 = Instant::now();
+            // The generator's realised mean degree lands well under the
+            // configured value after parallel-edge dedup; 28 yields ~1M
+            // edges at 100k users.
+            let g = bench_user_graph(n_users, 28.0, args.seed);
+            (g, t0.elapsed().as_secs_f64(), None)
+        }
+    };
     eprintln!(
-        "graph ready in {:.1?}: {} nodes, {} edges",
-        t0.elapsed(),
+        "graph ready in {gen_s:.1}s: {} nodes, {} edges",
         g.node_count(),
         g.edge_count()
     );
 
     let sweep = RemovalSweep::new(&g);
+    let plain = compare_engines(&sweep, steps, trials, "unweighted");
 
-    // Warm-up + correctness: the engines must agree exactly.
-    let fast_points = sweep.iterative_fraction(0.01, steps, RankBy::DegreeIterative);
-    let naive_points = sweep.iterative_fraction_naive(0.01, steps, RankBy::DegreeIterative);
-    assert_eq!(
-        fast_points, naive_points,
-        "incremental sweep diverged from the naive reference"
-    );
-    eprintln!(
-        "identity check passed: {} sweep points, final LCC {:.2}%",
-        fast_points.len(),
-        fast_points.last().map(|p| p.lcc_node_frac * 100.0).unwrap_or(0.0)
-    );
+    let weights = synthetic_weights(g.node_count());
+    let weighted_sweep = RemovalSweep::new(&g).with_weights(&weights);
+    let weighted = compare_engines(&weighted_sweep, steps, trials, "weighted");
 
-    let time = |f: &dyn Fn()| -> f64 {
-        let mut best = f64::INFINITY;
-        for _ in 0..trials {
-            let t = Instant::now();
-            f();
-            best = best.min(t.elapsed().as_secs_f64());
+    match tier_name {
+        Some(tier) => record(
+            &args.out,
+            &format!(
+                "{{\"bench\":\"fig12_tier\",\"tier\":\"{tier}\",\"mode\":\"{mode}\",\
+                 \"nodes\":{nodes},\"edges\":{edges},\"steps\":{steps},\
+                 \"frac_per_round\":0.01,\"seed\":{seed},\"gen_seconds\":{gen_s:.3},\
+                 \"naive_seconds\":{pn:.6},\"incremental_seconds\":{pi:.6},\
+                 \"speedup\":{ps:.2},\"weighted_naive_seconds\":{wn:.6},\
+                 \"weighted_incremental_seconds\":{wi:.6},\"weighted_speedup\":{ws:.2},\
+                 \"identical_output\":{ident}}}",
+                nodes = g.node_count(),
+                edges = g.edge_count(),
+                seed = args.seed,
+                pn = plain.naive_s,
+                pi = plain.incremental_s,
+                ps = plain.speedup,
+                wn = weighted.naive_s,
+                wi = weighted.incremental_s,
+                ws = weighted.speedup,
+                ident = plain.identical && weighted.identical,
+            ),
+        ),
+        None => {
+            for (name, cmp) in [
+                ("removal_sweep_iterative", &plain),
+                ("removal_sweep_iterative_weighted", &weighted),
+            ] {
+                record(
+                    &args.out,
+                    &format!(
+                        "{{\"bench\":\"{name}\",\"mode\":\"{mode}\",\
+                         \"nodes\":{nodes},\"edges\":{edges},\"steps\":{steps},\
+                         \"frac_per_round\":0.01,\"seed\":{seed},\
+                         \"naive_seconds\":{n:.6},\"incremental_seconds\":{i:.6},\
+                         \"speedup\":{s:.2},\"identical_output\":{ident}}}",
+                        nodes = g.node_count(),
+                        edges = g.edge_count(),
+                        seed = args.seed,
+                        n = cmp.naive_s,
+                        i = cmp.incremental_s,
+                        s = cmp.speedup,
+                        ident = cmp.identical,
+                    ),
+                );
+            }
         }
-        best
-    };
+    }
 
-    eprintln!("timing incremental engine ({trials} trials) …");
-    let incremental_s = time(&|| {
-        sweep.iterative_fraction(0.01, steps, RankBy::DegreeIterative);
-    });
-    eprintln!("incremental: {incremental_s:.3}s");
-
-    eprintln!("timing naive engine ({trials} trials) …");
-    let naive_s = time(&|| {
-        sweep.iterative_fraction_naive(0.01, steps, RankBy::DegreeIterative);
-    });
-    eprintln!("naive:       {naive_s:.3}s");
-
-    let speedup = naive_s / incremental_s;
-    eprintln!("speedup:     {speedup:.1}x");
-
-    let json = format!(
-        "{{\"bench\":\"removal_sweep_iterative\",\"mode\":\"{mode}\",\
-         \"nodes\":{nodes},\"edges\":{edges},\"steps\":{steps},\
-         \"frac_per_round\":0.01,\"seed\":{seed},\
-         \"naive_seconds\":{naive_s:.6},\"incremental_seconds\":{incremental_s:.6},\
-         \"speedup\":{speedup:.2},\"identical_output\":true}}",
-        mode = if args.quick { "quick" } else { "full" },
-        nodes = g.node_count(),
-        edges = g.edge_count(),
-        seed = args.seed,
-    );
-    std::fs::write(&args.out, format!("{json}\n")).expect("write BENCH_graph.json");
-    println!("{json}");
-
-    if !args.quick && speedup < 5.0 {
-        eprintln!("FAIL: speedup {speedup:.1}x below the 5x acceptance floor");
+    let mut fail = false;
+    // Divergence fails in every mode; the speedup floor only in full mode.
+    for (label, cmp) in [("unweighted", &plain), ("weighted", &weighted)] {
+        if !cmp.identical {
+            eprintln!("FAIL: {label} output diverged from the naive reference");
+            fail = true;
+        }
+        if !args.quick && cmp.speedup < 5.0 {
+            eprintln!(
+                "FAIL: {label} speedup {:.1}x below the 5x acceptance floor",
+                cmp.speedup
+            );
+            fail = true;
+        }
+    }
+    if fail {
         std::process::exit(1);
     }
 }

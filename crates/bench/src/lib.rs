@@ -9,13 +9,26 @@
 #![warn(missing_docs)]
 
 use fediscope_core::Observatory;
-use fediscope_graph::DiGraph;
-use fediscope_worldgen::{Generator, WorldConfig};
+use fediscope_graph::{DiGraph, GraphBuilder};
+use fediscope_worldgen::{Generator, ScaleTier, WorldConfig};
 
 /// Build the standard bench observatory (seeded, small scale so a full
 /// Criterion run stays in CI-friendly time).
 pub fn bench_observatory(seed: u64) -> Observatory {
     Observatory::new(Generator::generate_world(WorldConfig::small(seed)))
+}
+
+/// Stream a config's follower graph straight into the CSR builder: no
+/// intermediate edge list, no availability/growth/Twitter stages — the
+/// cheapest way to stand up a million-user graph.
+fn streamed_user_graph(cfg: &WorldConfig) -> DiGraph {
+    let mut b = GraphBuilder::with_capacity(
+        cfg.n_users as u32,
+        (cfg.n_users as f64 * cfg.mean_out_degree) as usize,
+    );
+    let n = Generator::stream_social_edges(cfg, &mut |a, t| b.add_edge(a, t));
+    debug_assert_eq!(n, cfg.n_users);
+    b.build()
 }
 
 /// Synthetic power-law follower graph for the removal-sweep benches,
@@ -28,11 +41,14 @@ pub fn bench_user_graph(n_users: usize, mean_out_degree: f64, seed: u64) -> DiGr
     cfg.mean_out_degree = mean_out_degree;
     // keep the ancillary baseline small; only the Mastodon graph is used
     cfg.twitter_users = 1_000;
-    let world = Generator::generate_world(cfg);
-    DiGraph::from_edges(
-        world.users.len() as u32,
-        world.follows.iter().map(|&(a, b)| (a.0, b.0)),
-    )
+    streamed_user_graph(&cfg)
+}
+
+/// The follower graph of a named [`ScaleTier`] world (paper-2019 / mid /
+/// modern), streamed into CSR form. The modern tier stands up ~30K
+/// instances and a million accounts.
+pub fn tier_user_graph(tier: ScaleTier, seed: u64) -> DiGraph {
+    streamed_user_graph(&WorldConfig::for_tier(tier, seed))
 }
 
 #[cfg(test)]
@@ -43,6 +59,20 @@ mod tests {
     fn bench_observatory_builds() {
         let obs = bench_observatory(1);
         assert!(!obs.world.instances.is_empty());
+    }
+
+    #[test]
+    fn streamed_graph_matches_full_world_graph() {
+        // The streaming path must produce exactly the graph a full world
+        // build produces (same sub-seeded RNG streams, same CSR dedup).
+        let cfg = WorldConfig::tiny(9);
+        let world = Generator::generate_world(cfg.clone());
+        let direct = DiGraph::from_edges(
+            world.users.len() as u32,
+            world.follows.iter().map(|&(a, b)| (a.0, b.0)),
+        );
+        let streamed = streamed_user_graph(&cfg);
+        assert_eq!(streamed, direct);
     }
 
     #[test]

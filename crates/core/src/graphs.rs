@@ -4,6 +4,7 @@ use crate::observatory::{Metric, Observatory};
 use fediscope_graph::par;
 use fediscope_graph::removal::{RankBy, RemovalSweep, SweepPoint};
 use fediscope_graph::{degree, weakly_connected};
+use fediscope_model::scale::ScaleTier;
 use fediscope_stats::{Ecdf, PowerLawFit};
 
 /// Fig. 11: out-degree distributions.
@@ -169,7 +170,9 @@ pub fn fig13_federation_removal(
     let weights = obs.user_weights();
 
     let checkpoints: Vec<usize> = (0..=max_instances.min(fed.node_count())).collect();
-    let sweep = RemovalSweep::new(fed).with_weights(weights.clone());
+    // The weights are borrowed by the sweep (not cloned), so the same
+    // vector backs all four fanned-out sweeps below.
+    let sweep = RemovalSweep::new(fed).with_weights(&weights);
 
     let order_users = obs.instance_order(Metric::Users);
     let order_toots = obs.instance_order(Metric::Toots);
@@ -270,6 +273,31 @@ pub fn fig12_random_baseline(
     }
 }
 
+/// Compute Fig. 12 at a named scale tier (the tier fixes the round count,
+/// so per-tier results are comparable across worlds of the same tier).
+pub fn fig12_user_removal_tier(obs: &Observatory, tier: ScaleTier) -> Fig12UserRemoval {
+    fig12_user_removal(obs, tier.fig12_steps())
+}
+
+/// Compute Fig. 13 at a named scale tier: sweep depth and AS count follow
+/// the tier tables (a quarter of the tier's instances, 30–50 ASes).
+pub fn fig13_federation_removal_tier(
+    obs: &Observatory,
+    tier: ScaleTier,
+) -> Fig13FederationRemoval {
+    fig13_federation_removal(obs, tier.fig13_max_instances(), tier.fig13_max_ases())
+}
+
+/// Compute the Fig. 12 random baseline at a named scale tier (trial count
+/// shrinks as worlds grow — each trial already averages over more nodes).
+pub fn fig12_random_baseline_tier(
+    obs: &Observatory,
+    tier: ScaleTier,
+    base_seed: u64,
+) -> Fig12RandomBaseline {
+    fig12_random_baseline(obs, tier.fig12_steps(), tier.baseline_trials(), base_seed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -358,6 +386,24 @@ mod tests {
             last > attack.mastodon.last().unwrap().lcc_node_frac,
             "random baseline ({last}) should dominate the attack"
         );
+    }
+
+    #[test]
+    fn tier_entry_points_follow_tier_tables() {
+        // A tiny world exercises the plumbing; sweep depths clamp to the
+        // world where the tier tables exceed it.
+        let o = Observatory::new(Generator::generate_world(WorldConfig::tiny(3)));
+        let tier = ScaleTier::Paper2019;
+        let f12 = fig12_user_removal_tier(&o, tier);
+        assert_eq!(f12.mastodon.len(), tier.fig12_steps() + 1);
+        let f13 = fig13_federation_removal_tier(&o, tier);
+        assert_eq!(
+            f13.by_instance_users.len(),
+            o.world.instances.len().min(tier.fig13_max_instances()) + 1
+        );
+        let rb = fig12_random_baseline_tier(&o, tier, 7);
+        assert_eq!(rb.trials.len(), tier.baseline_trials());
+        assert_eq!(rb.mean_lcc_frac.len(), tier.fig12_steps() + 1);
     }
 
     #[test]

@@ -5,13 +5,16 @@
 //! nodes progressively removed (Figs. 12, 13). Both are supported over an
 //! `alive` mask so the removal sweeps do not need to rebuild the CSR.
 //!
-//! The removal sweeps evaluate components hundreds of times over the same
-//! graph; [`ComponentScratch`] keeps every working buffer (union-find
+//! Callers that evaluate components repeatedly over the same graph can use
+//! [`ComponentScratch`], which keeps every working buffer (union-find
 //! arrays, label tables, Tarjan stacks, weight accumulators) alive across
 //! evaluations so the steady-state hot path performs **zero heap
 //! allocations per round**. The one-shot [`weakly_connected`] /
 //! [`strongly_connected`] functions are thin wrappers over a fresh scratch
-//! and produce byte-for-byte the same labels and sizes.
+//! and produce byte-for-byte the same labels and sizes. (The removal
+//! sweeps themselves now evaluate all rounds in one reverse union-find
+//! pass — see `removal.rs` — and only reach for per-round passes when SCC
+//! counts are requested.)
 
 use crate::digraph::DiGraph;
 use crate::unionfind::UnionFind;

@@ -36,4 +36,4 @@ pub use components::{
 };
 pub use digraph::{DiGraph, GraphBuilder};
 pub use removal::{RemovalSweep, SweepPoint};
-pub use unionfind::UnionFind;
+pub use unionfind::{UnionFind, WeightedUnionFind};

@@ -16,9 +16,10 @@
 //! node weights — the paper variously normalises by instances, users, and
 //! toots.
 
-use crate::components::{strongly_connected, weakly_connected, ComponentScratch};
+use crate::components::{strongly_connected, weakly_connected};
 use crate::digraph::DiGraph;
-use crate::unionfind::UnionFind;
+use crate::par;
+use crate::unionfind::WeightedUnionFind;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
@@ -58,42 +59,30 @@ pub enum RankBy {
     },
 }
 
-/// Merge the components of `a` and `b`, maintaining the running component
-/// weights, merge count, and maxima used by the reverse sweep. `comp_weight`
-/// is indexed by union-find root and may be empty when weights are unused.
+/// Merge the components of `a` and `b`, maintaining the merge count and the
+/// running size/weight maxima used by the reverse sweep. The per-root
+/// weight accumulators live inside the [`WeightedUnionFind`].
 fn union_alive(
-    uf: &mut UnionFind,
-    comp_weight: &mut [f64],
+    uf: &mut WeightedUnionFind,
     a: u32,
     b: u32,
     merges: &mut usize,
     max_size: &mut u32,
     max_weight: &mut f64,
 ) {
-    let ra = uf.find(a);
-    let rb = uf.find(b);
-    if ra == rb {
-        return;
+    if let Some((root, merged_w)) = uf.union(a, b) {
+        *merges += 1;
+        if uf.is_weighted() {
+            *max_weight = max_weight.max(merged_w);
+        }
+        *max_size = (*max_size).max(uf.size_of(root));
     }
-    let merged_w = if comp_weight.is_empty() {
-        0.0
-    } else {
-        comp_weight[ra as usize] + comp_weight[rb as usize]
-    };
-    uf.union(a, b);
-    *merges += 1;
-    let root = uf.find(a);
-    if !comp_weight.is_empty() {
-        comp_weight[root as usize] = merged_w;
-        *max_weight = max_weight.max(merged_w);
-    }
-    *max_size = (*max_size).max(uf.size_of(root));
 }
 
 /// Configurable removal-sweep runner over a borrowed graph.
 pub struct RemovalSweep<'g> {
     g: &'g DiGraph,
-    weights: Option<Vec<f64>>,
+    weights: Option<&'g [f64]>,
     compute_scc: bool,
 }
 
@@ -108,8 +97,18 @@ impl<'g> RemovalSweep<'g> {
     }
 
     /// Attach per-node weights (users, toots, …) for weighted-LCC reporting.
-    pub fn with_weights(mut self, w: Vec<f64>) -> Self {
+    ///
+    /// The slice is borrowed, not cloned — a graph-sized weight vector can
+    /// back many concurrent sweeps for free. Weights must be finite and
+    /// non-negative (they are counts in every paper figure); the offline
+    /// weighted engine maintains a running maximum over merged component
+    /// weights, which is only monotone under that assumption.
+    pub fn with_weights(mut self, w: &'g [f64]) -> Self {
         assert_eq!(w.len(), self.g.node_count(), "weight length mismatch");
+        assert!(
+            w.iter().all(|x| x.is_finite() && *x >= 0.0),
+            "weights must be finite and non-negative"
+        );
         self.weights = Some(w);
         self
     }
@@ -163,52 +162,22 @@ impl<'g> RemovalSweep<'g> {
         }
     }
 
-    /// One evaluation point computed through the reusable `scratch`
-    /// (allocation-free after warm-up); identical output to
-    /// [`Self::point_from_mask`].
-    fn point_scratch(
-        &self,
-        alive: &[bool],
-        removed: usize,
-        groups: usize,
-        total_weight: f64,
-        scratch: &mut ComponentScratch,
-    ) -> SweepPoint {
-        let n = self.g.node_count();
-        let wcc = scratch.weakly_connected(self.g, Some(alive));
-        let (lcc_weight, lcc_weight_frac) = match &self.weights {
-            Some(w) => {
-                let heaviest = scratch.largest_weight(w);
-                (
-                    heaviest,
-                    if total_weight > 0.0 {
-                        heaviest / total_weight
-                    } else {
-                        0.0
-                    },
-                )
+    /// SCC count at every boundary (removal-count prefix of `order`).
+    ///
+    /// Tarjan is inherently serial *within* one evaluation, but the
+    /// per-boundary evaluations are independent pure functions, so they are
+    /// sharded across OS threads via [`par::parallel_map`]: with `t`
+    /// threads the wall-clock cost of the worst (SCC-enabled) path drops
+    /// from `rounds·O(N+E)` serial to `O((N+E)/t)` per round. Results come
+    /// back in boundary order, so output never depends on scheduling.
+    fn scc_counts_at(&self, order: &[u32], boundaries: &[usize]) -> Vec<usize> {
+        par::parallel_map(boundaries, |&b| {
+            let mut alive = vec![true; self.g.node_count()];
+            for &v in &order[..b.min(order.len())] {
+                alive[v as usize] = false;
             }
-            None => (0.0, 0.0),
-        };
-        let scc_count = if self.compute_scc {
-            scratch.strongly_connected_count(self.g, Some(alive))
-        } else {
-            0
-        };
-        SweepPoint {
-            removed,
-            groups_removed: groups,
-            lcc_nodes: wcc.largest,
-            lcc_node_frac: if n > 0 {
-                wcc.largest as f64 / n as f64
-            } else {
-                0.0
-            },
-            lcc_weight,
-            lcc_weight_frac,
-            wcc_count: wcc.count,
-            scc_count,
-        }
+            strongly_connected(self.g, Some(&alive)).count()
+        })
     }
 
     /// Fig. 12 methodology: in each of `steps` rounds remove `frac` of the
@@ -223,18 +192,21 @@ impl<'g> RemovalSweep<'g> {
     ///    `select_nth_unstable` (`O(survivors)` instead of a full sort).
     ///    The selection never depends on component metrics, so the whole
     ///    removal schedule is known before anything is evaluated.
-    /// 2. **Evaluation**: in the common unweighted/no-SCC configuration
-    ///    (Fig. 12's), all rounds are evaluated in one reverse union-find
-    ///    pass costing `O(E·α)` *total*; every reported metric is
-    ///    integer-derived there, so results are bit-identical to the naive
-    ///    engine. With weights or SCC counting enabled, each round is
-    ///    evaluated through a reusable [`ComponentScratch`] whose
-    ///    accumulation order matches the naive implementation exactly —
-    ///    again bit-identical, at `O(E)` per round but with zero per-round
-    ///    allocations.
+    /// 2. **Evaluation**: all rounds — weighted or not — are evaluated in
+    ///    one reverse union-find pass costing `O((E+N)·α)` *total*; the
+    ///    per-root weight accumulators ride along inside
+    ///    [`WeightedUnionFind`], so the weighted Fig. 13-style metrics cost
+    ///    the same near-linear pass as the unweighted ones. When SCC counts
+    ///    are requested, the independent per-round Tarjan evaluations are
+    ///    sharded across threads (see [`Self::scc_counts_at`]).
     ///
-    /// The differential property tests below pin equality with
-    /// [`Self::iterative_fraction_naive`] in all configurations.
+    /// Output is bit-identical to [`Self::iterative_fraction_naive`]: every
+    /// unweighted metric is integer-derived, and the weighted metrics sum
+    /// the same weight multisets (exactly the same bits whenever weights
+    /// are integer-valued, as all the paper's user/toot counts are — the
+    /// reverse pass merges accumulators in union order rather than node
+    /// order, which is invisible below 2^53). The differential property
+    /// tests below pin equality in all configurations.
     pub fn iterative_fraction(&self, frac: f64, steps: usize, rank: RankBy) -> Vec<SweepPoint> {
         assert!((0.0..=1.0).contains(&frac), "frac out of range");
         let n = self.g.node_count();
@@ -314,28 +286,10 @@ impl<'g> RemovalSweep<'g> {
         }
 
         // ---- phase 2: evaluate every round ------------------------------
-        if self.weights.is_none() && !self.compute_scc {
-            // All metrics are integers (or ratios of integers): one
-            // near-linear reverse union-find pass over all boundaries.
-            return self.reverse_sweep(&order, &boundaries, None);
-        }
-
-        // Weighted / SCC configuration: replay the schedule, evaluating
-        // each round through the reusable scratch (no per-round allocs,
-        // naive-identical accumulation order).
-        let total_weight = self.total_weight();
-        let mut scratch = ComponentScratch::new();
-        let mut out = Vec::with_capacity(boundaries.len());
-        alive.iter_mut().for_each(|a| *a = true);
-        let mut cursor = 0usize;
-        for &b in &boundaries {
-            while cursor < b {
-                alive[order[cursor] as usize] = false;
-                cursor += 1;
-            }
-            out.push(self.point_scratch(&alive, b, 0, total_weight, &mut scratch));
-        }
-        out
+        // One near-linear reverse union-find pass over all boundaries; the
+        // weighted metrics ride along in per-root accumulators and SCC
+        // counts (when enabled) are sharded across threads.
+        self.reverse_sweep(&order, &boundaries, None)
     }
 
     /// Reference implementation of [`Self::iterative_fraction`]: rescans
@@ -404,7 +358,8 @@ impl<'g> RemovalSweep<'g> {
     /// after each prefix length in `checkpoints` (ascending; a checkpoint of
     /// 0 evaluates the intact graph). Uses reverse union-find, so the whole
     /// sweep is near-linear — unless SCC counting is enabled, in which case
-    /// each checkpoint additionally pays one Tarjan pass.
+    /// each checkpoint additionally pays one Tarjan pass (sharded across
+    /// threads, see [`Self::scc_counts_at`]).
     pub fn ranked(&self, order: &[u32], checkpoints: &[usize]) -> Vec<SweepPoint> {
         assert!(
             checkpoints.windows(2).all(|w| w[0] < w[1]),
@@ -447,24 +402,14 @@ impl<'g> RemovalSweep<'g> {
         }
         let max_removed = *boundaries.last().unwrap();
 
-        // If SCC counts are requested we fall back to per-checkpoint passes
-        // (Tarjan cannot be run incrementally).
-        let mut scc_counts: Vec<usize> = Vec::new();
-        if self.compute_scc {
-            let mut alive = vec![true; n];
-            for &v in &order[..max_removed] {
-                alive[v as usize] = false;
-            }
-            let mut cursor = max_removed;
-            for &b in boundaries.iter().rev() {
-                while cursor > b {
-                    cursor -= 1;
-                    alive[order[cursor] as usize] = true;
-                }
-                scc_counts.push(strongly_connected(self.g, Some(&alive)).count());
-            }
-            scc_counts.reverse();
-        }
+        // If SCC counts are requested, evaluate the independent
+        // per-boundary Tarjan passes on worker threads (Tarjan cannot be
+        // run incrementally, but each boundary is a pure function).
+        let scc_counts: Vec<usize> = if self.compute_scc {
+            self.scc_counts_at(order, boundaries)
+        } else {
+            Vec::new()
+        };
 
         // Start fully removed at max boundary, then add nodes back.
         let mut alive = vec![true; n];
@@ -473,13 +418,9 @@ impl<'g> RemovalSweep<'g> {
         }
         let mut alive_count = alive.iter().filter(|&&a| a).count();
 
-        let mut uf = UnionFind::new(n);
-        let default_w = vec![1.0; 0];
-        let weights = self.weights.as_deref().unwrap_or(&default_w);
-        let mut comp_weight: Vec<f64> = if weights.is_empty() {
-            Vec::new()
-        } else {
-            weights.to_vec() // per-root running weight; index by root
+        let mut uf = match self.weights {
+            Some(w) => WeightedUnionFind::new(w),
+            None => WeightedUnionFind::unweighted(n),
         };
         let mut merges = 0usize;
         let mut max_size = if alive_count > 0 { 1u32 } else { 0 };
@@ -488,22 +429,13 @@ impl<'g> RemovalSweep<'g> {
         // Add edges among initially-alive nodes.
         for (a, b) in self.g.edges() {
             if alive[a as usize] && alive[b as usize] {
-                union_alive(
-                    &mut uf,
-                    &mut comp_weight,
-                    a,
-                    b,
-                    &mut merges,
-                    &mut max_size,
-                    &mut max_weight,
-                );
+                union_alive(&mut uf, a, b, &mut merges, &mut max_size, &mut max_weight);
             }
         }
-        if !comp_weight.is_empty() {
+        if uf.is_weighted() {
             for v in 0..n as u32 {
                 if alive[v as usize] {
-                    let r = uf.find(v);
-                    max_weight = max_weight.max(comp_weight[r as usize]);
+                    max_weight = max_weight.max(uf.weight_of(v));
                 }
             }
         }
@@ -519,34 +451,17 @@ impl<'g> RemovalSweep<'g> {
                 alive[v as usize] = true;
                 alive_count += 1;
                 max_size = max_size.max(1);
-                if !comp_weight.is_empty() {
-                    let r = uf.find(v);
-                    max_weight = max_weight.max(comp_weight[r as usize]);
+                if uf.is_weighted() {
+                    max_weight = max_weight.max(uf.weight_of(v));
                 }
                 for &w in self.g.out_neighbors(v) {
                     if alive[w as usize] {
-                        union_alive(
-                            &mut uf,
-                            &mut comp_weight,
-                            v,
-                            w,
-                            &mut merges,
-                            &mut max_size,
-                            &mut max_weight,
-                        );
+                        union_alive(&mut uf, v, w, &mut merges, &mut max_size, &mut max_weight);
                     }
                 }
                 for &w in self.g.in_neighbors(v) {
                     if alive[w as usize] {
-                        union_alive(
-                            &mut uf,
-                            &mut comp_weight,
-                            v,
-                            w,
-                            &mut merges,
-                            &mut max_size,
-                            &mut max_weight,
-                        );
+                        union_alive(&mut uf, v, w, &mut merges, &mut max_size, &mut max_weight);
                     }
                 }
             }
@@ -638,7 +553,7 @@ mod tests {
     fn ranked_sweep_weighted_lcc() {
         let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
         let weights = vec![10.0, 1.0, 5.0, 5.0];
-        let sweep = RemovalSweep::new(&g).with_weights(weights);
+        let sweep = RemovalSweep::new(&g).with_weights(&weights);
         let pts = sweep.ranked(&[0], &[0, 1]);
         // intact: comp {0,1} weight 11 vs {2,3} weight 10 -> 11
         assert!((pts[0].lcc_weight - 11.0).abs() < 1e-9);
@@ -696,9 +611,64 @@ mod tests {
     }
 
     #[test]
+    fn weighted_full_wipeout_matches_naive() {
+        // frac = 1.0 with weights: the offline weighted pass must agree
+        // with the naive engine through the wipeout round (LCC weight 0).
+        let g = DiGraph::from_edges(6, [(0, 1), (1, 2), (2, 3), (4, 5)]);
+        let weights: Vec<f64> = (0..6).map(|i| (i * 3 + 1) as f64).collect();
+        let sweep = RemovalSweep::new(&g).with_weights(&weights);
+        let fast = sweep.iterative_fraction(1.0, 2, RankBy::DegreeIterative);
+        let naive = sweep.iterative_fraction_naive(1.0, 2, RankBy::DegreeIterative);
+        assert_eq!(fast, naive);
+        assert_eq!(fast.last().unwrap().lcc_weight, 0.0);
+        assert_eq!(fast.last().unwrap().lcc_weight_frac, 0.0);
+    }
+
+    #[test]
+    fn weighted_all_equal_weights_track_node_counts() {
+        // With all-equal weights the weighted curve is a scaled copy of the
+        // node curve: lcc_weight == w * lcc_nodes at every round.
+        let g = DiGraph::from_edges(7, [(0, 1), (1, 2), (2, 3), (3, 0), (4, 5), (5, 6)]);
+        let weights = vec![3.0; 7];
+        let sweep = RemovalSweep::new(&g).with_weights(&weights);
+        let fast = sweep.iterative_fraction(0.2, 4, RankBy::DegreeIterative);
+        let naive = sweep.iterative_fraction_naive(0.2, 4, RankBy::DegreeIterative);
+        assert_eq!(fast, naive);
+        for p in &fast {
+            assert_eq!(p.lcc_weight, 3.0 * p.lcc_nodes as f64);
+        }
+    }
+
+    #[test]
+    fn weighted_single_surviving_node() {
+        // Remove everything but node 3: the LCC weight collapses to that
+        // node's own weight.
+        let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let weights = vec![5.0, 6.0, 7.0, 8.0];
+        let sweep = RemovalSweep::new(&g).with_weights(&weights);
+        let pts = sweep.ranked(&[0, 1, 2], &[0, 3]);
+        assert_eq!(pts[1].lcc_nodes, 1);
+        assert_eq!(pts[1].lcc_weight, 8.0);
+        assert!((pts[1].lcc_weight_frac - 8.0 / 26.0).abs() < 1e-12);
+        // the iterative engine agrees with the naive one on the same shape
+        let fast = sweep.iterative_fraction(0.34, 3, RankBy::DegreeIterative);
+        let naive = sweep.iterative_fraction_naive(0.34, 3, RankBy::DegreeIterative);
+        assert_eq!(fast, naive);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and non-negative")]
+    fn negative_weights_rejected() {
+        let g = DiGraph::from_edges(2, [(0, 1)]);
+        let weights = vec![1.0, -2.0];
+        let _ = RemovalSweep::new(&g).with_weights(&weights);
+    }
+
+    #[test]
     fn weighted_sweep_with_all_zero_weights() {
         let g = DiGraph::from_edges(4, [(0, 1), (1, 2), (2, 3)]);
-        let sweep = RemovalSweep::new(&g).with_weights(vec![0.0; 4]);
+        let weights = vec![0.0; 4];
+        let sweep = RemovalSweep::new(&g).with_weights(&weights);
         let pts = sweep.iterative_fraction(0.5, 2, RankBy::DegreeIterative);
         for p in &pts {
             assert_eq!(p.lcc_weight, 0.0);
@@ -717,8 +687,9 @@ mod tests {
         // Exercised by tests/resilience_invariants.rs: an empty removal
         // order with checkpoint 0 must evaluate the intact graph.
         let g = DiGraph::from_edges(4, [(0, 1), (2, 3)]);
+        let weights = vec![1.0, 2.0, 3.0, 4.0];
         let pts = RemovalSweep::new(&g)
-            .with_weights(vec![1.0, 2.0, 3.0, 4.0])
+            .with_weights(&weights)
             .ranked(&[], &[0]);
         assert_eq!(pts.len(), 1);
         assert_eq!(pts[0].removed, 0);
@@ -734,7 +705,7 @@ mod tests {
             [(0, 1), (1, 0), (1, 2), (2, 3), (3, 4), (4, 2), (5, 6), (6, 7)],
         );
         let weights: Vec<f64> = (0..8).map(|i| (i + 1) as f64).collect();
-        let sweep = RemovalSweep::new(&g).with_weights(weights).with_scc(true);
+        let sweep = RemovalSweep::new(&g).with_weights(&weights).with_scc(true);
         let fast = sweep.iterative_fraction(0.25, 4, RankBy::DegreeIterative);
         let naive = sweep.iterative_fraction_naive(0.25, 4, RankBy::DegreeIterative);
         assert_eq!(fast, naive);
@@ -779,7 +750,7 @@ mod prop_tests {
             }
             let weights: Vec<f64> = (0..20).map(|i| (i % 5) as f64 + 1.0).collect();
             let checkpoints: Vec<usize> = vec![0, 3, 7, 12, 20];
-            let sweep = RemovalSweep::new(&g).with_weights(weights.clone());
+            let sweep = RemovalSweep::new(&g).with_weights(&weights);
             let fast = sweep.ranked(&order, &checkpoints);
 
             for (pt, &k) in fast.iter().zip(&checkpoints) {
@@ -807,13 +778,38 @@ mod prop_tests {
             let weights: Vec<f64> = (0..24).map(|i| ((i * 7) % 11) as f64).collect();
             // Unweighted sweep: exercises the reverse union-find fast path.
             let plain = RemovalSweep::new(&g);
-            // Weighted sweep: exercises the per-round scratch path.
-            let weighted = RemovalSweep::new(&g).with_weights(weights);
+            // Weighted sweep: exercises the offline weighted reverse pass.
+            let weighted = RemovalSweep::new(&g).with_weights(&weights);
             for rank in [RankBy::DegreeIterative, RankBy::Random { seed }] {
                 for sweep in [&plain, &weighted] {
                     let fast = sweep.iterative_fraction(0.1, 6, rank);
                     let slow = sweep.iterative_fraction_naive(0.1, 6, rank);
                     prop_assert_eq!(&fast, &slow, "rank {:?}", rank);
+                }
+            }
+        }
+
+        /// The weighted offline reverse pass reproduces the naive engine
+        /// bit-for-bit on random graphs with random integer-valued weights
+        /// (integer weights make float summation order unobservable, so
+        /// exact equality is the right assertion), across both ranking
+        /// modes and with SCC counting on and off.
+        #[test]
+        fn weighted_offline_equals_naive(
+            edges in proptest::collection::vec((0u32..18, 0u32..18), 0..90),
+            raw_weights in proptest::collection::vec(0u32..10_000, 18),
+            seed in 0u64..300,
+            frac_i in 0usize..3
+        ) {
+            let frac = [0.1, 0.34, 1.0][frac_i];
+            let g = DiGraph::from_edges(18, edges);
+            let weights: Vec<f64> = raw_weights.iter().map(|&w| w as f64).collect();
+            for scc in [false, true] {
+                let sweep = RemovalSweep::new(&g).with_weights(&weights).with_scc(scc);
+                for rank in [RankBy::DegreeIterative, RankBy::Random { seed }] {
+                    let fast = sweep.iterative_fraction(frac, 5, rank);
+                    let slow = sweep.iterative_fraction_naive(frac, 5, rank);
+                    prop_assert_eq!(&fast, &slow, "scc {} rank {:?} frac {}", scc, rank, frac);
                 }
             }
         }

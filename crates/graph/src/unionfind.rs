@@ -1,4 +1,5 @@
-//! Disjoint-set union with path compression and union by size.
+//! Disjoint-set union with path compression and union by size, plus a
+//! weight-carrying variant used by the reverse removal sweeps.
 
 /// Union-find over `0..n`.
 #[derive(Debug, Clone, Default)]
@@ -92,9 +93,128 @@ impl UnionFind {
     }
 }
 
+/// Union-find that additionally carries one `f64` accumulator per root —
+/// the total caller-provided weight of the set.
+///
+/// This is what lets the reverse (additive) removal sweeps report the
+/// *weighted* LCC (Fig. 13's user- and toot-normalised curves) in the same
+/// near-linear pass that produces the sizes: each merge folds the two root
+/// accumulators together, so reading any component's weight is `O(α)`.
+///
+/// The accumulator is a plain running sum, so its value can differ from a
+/// node-order summation by floating-point association. With integer-valued
+/// weights (user counts, toot counts — everything this repo sweeps) every
+/// partial sum below 2^53 is exact and the association order is
+/// unobservable.
+///
+/// Constructed with an empty weight slice, the structure degrades to a
+/// plain [`UnionFind`] and skips all weight bookkeeping.
+#[derive(Debug, Clone, Default)]
+pub struct WeightedUnionFind {
+    uf: UnionFind,
+    weight: Vec<f64>,
+}
+
+impl WeightedUnionFind {
+    /// `weights.len()` singleton sets, each starting at its own weight.
+    pub fn new(weights: &[f64]) -> Self {
+        Self {
+            uf: UnionFind::new(weights.len()),
+            weight: weights.to_vec(),
+        }
+    }
+
+    /// `n` singleton sets with no weight tracking ([`Self::weight_of`]
+    /// returns 0 everywhere).
+    pub fn unweighted(n: usize) -> Self {
+        Self {
+            uf: UnionFind::new(n),
+            weight: Vec::new(),
+        }
+    }
+
+    /// Whether weight accumulators are being maintained.
+    pub fn is_weighted(&self) -> bool {
+        !self.weight.is_empty()
+    }
+
+    /// Representative of `x`'s set.
+    pub fn find(&mut self, x: u32) -> u32 {
+        self.uf.find(x)
+    }
+
+    /// Merge the sets of `a` and `b`. Returns `Some((root, merged_weight))`
+    /// when they were distinct (`merged_weight` is 0 when unweighted).
+    pub fn union(&mut self, a: u32, b: u32) -> Option<(u32, f64)> {
+        let ra = self.uf.find(a);
+        let rb = self.uf.find(b);
+        if ra == rb {
+            return None;
+        }
+        let merged = if self.weight.is_empty() {
+            0.0
+        } else {
+            self.weight[ra as usize] + self.weight[rb as usize]
+        };
+        self.uf.union(a, b);
+        let root = self.uf.find(a);
+        if !self.weight.is_empty() {
+            self.weight[root as usize] = merged;
+        }
+        Some((root, merged))
+    }
+
+    /// Total weight of the set containing `x` (0 when unweighted).
+    pub fn weight_of(&mut self, x: u32) -> f64 {
+        if self.weight.is_empty() {
+            return 0.0;
+        }
+        let r = self.uf.find(x);
+        self.weight[r as usize]
+    }
+
+    /// Size (node count) of the set containing `x`.
+    pub fn size_of(&mut self, x: u32) -> u32 {
+        self.uf.size_of(x)
+    }
+
+    /// Total number of disjoint sets.
+    pub fn component_count(&self) -> usize {
+        self.uf.component_count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn weighted_union_accumulates() {
+        let mut uf = WeightedUnionFind::new(&[1.0, 2.0, 4.0, 8.0]);
+        assert!(uf.is_weighted());
+        let (_, w) = uf.union(0, 1).unwrap();
+        assert_eq!(w, 3.0);
+        assert_eq!(uf.weight_of(1), 3.0);
+        assert!(uf.union(1, 0).is_none());
+        let (root, w) = uf.union(2, 3).unwrap();
+        assert_eq!(w, 12.0);
+        assert_eq!(uf.weight_of(root), 12.0);
+        let (_, w) = uf.union(0, 3).unwrap();
+        assert_eq!(w, 15.0);
+        assert_eq!(uf.size_of(2), 4);
+        assert_eq!(uf.component_count(), 1);
+    }
+
+    #[test]
+    fn unweighted_variant_reports_zero_weight() {
+        let mut uf = WeightedUnionFind::unweighted(3);
+        assert!(!uf.is_weighted());
+        let (_, w) = uf.union(0, 2).unwrap();
+        assert_eq!(w, 0.0);
+        assert_eq!(uf.weight_of(0), 0.0);
+        assert_eq!(uf.size_of(0), 2);
+        assert_eq!(uf.find(0), uf.find(2));
+    }
 
     #[test]
     fn singletons() {
@@ -164,6 +284,29 @@ mod prop_tests {
                 }
             }
             prop_assert_eq!(total, 50);
+        }
+
+        /// A root's weight accumulator always equals the sum of its
+        /// members' initial weights (integer weights: exact equality).
+        #[test]
+        fn weights_track_membership(
+            edges in proptest::collection::vec((0u32..40, 0u32..40), 0..120),
+            raw in proptest::collection::vec(0u32..1000, 40)
+        ) {
+            let weights: Vec<f64> = raw.iter().map(|&w| w as f64).collect();
+            let mut uf = WeightedUnionFind::new(&weights);
+            for &(a, b) in &edges {
+                uf.union(a, b);
+            }
+            let mut by_root = vec![0.0f64; 40];
+            for x in 0..40u32 {
+                let r = uf.find(x);
+                by_root[r as usize] += weights[x as usize];
+            }
+            for x in 0..40u32 {
+                let r = uf.find(x);
+                prop_assert_eq!(uf.weight_of(x), by_root[r as usize]);
+            }
         }
     }
 }

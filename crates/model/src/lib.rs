@@ -16,7 +16,9 @@
 //! - [`world`]: the fully-generated ground-truth world consumed by the
 //!   simulator, the crawler and the analyses,
 //! - [`datasets`]: the *measured* datasets a crawler produces (the study's
-//!   "Instances", "Toots" and "Graphs" datasets).
+//!   "Instances", "Toots" and "Graphs" datasets),
+//! - [`scale`]: named world-scale tiers (paper-2019 / mid / modern) shared
+//!   by the generator, the analyses, and the benchmarks.
 //!
 //! The model deliberately distinguishes ground truth ([`world::World`]) from
 //! measurement ([`datasets`]): the paper only ever sees the latter, and our
@@ -30,6 +32,7 @@ pub mod datasets;
 pub mod geo;
 pub mod ids;
 pub mod instance;
+pub mod scale;
 pub mod schedule;
 pub mod taxonomy;
 pub mod time;
@@ -40,6 +43,7 @@ pub use certs::{Certificate, CertificateAuthority};
 pub use geo::{Country, ProviderCatalog, ProviderInfo};
 pub use ids::{AsId, InstanceId, UserId};
 pub use instance::{Instance, Registration, Software};
+pub use scale::ScaleTier;
 pub use schedule::{AvailabilitySchedule, Outage, OutageCause};
 pub use taxonomy::{Activity, Category, PolicySet};
 pub use time::{Day, Epoch, EPOCHS_PER_DAY, WINDOW_DAYS, WINDOW_EPOCHS};

@@ -1,0 +1,159 @@
+//! Scale tiers: named world sizes from the paper's 2019 crawl up to the
+//! modern Fediverse.
+//!
+//! The IMC'19 paper measured 4,328 instances and 853K follower-graph
+//! accounts. Post-2022 crawls (Xavier 2024; Jeong et al. 2025 — see
+//! PAPERS.md) put the network at roughly 30K instances and millions of
+//! accounts. A [`ScaleTier`] names one point on that trajectory so the
+//! generator, the analyses, and the benchmarks can all be parameterised by
+//! the same knob and `BENCH_graph.json` can carry one datapoint per tier.
+
+/// A named world scale, from the paper's 2019 crawl to the modern network.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScaleTier {
+    /// The paper's July-2018/early-2019 crawl: 4,328 instances, 853K
+    /// accounts, 351 hosting ASes.
+    Paper2019,
+    /// Midpoint of the post-2022 growth curve: ~12K instances, 250K
+    /// accounts — big enough that asymptotics dominate, small enough for
+    /// CI.
+    Mid,
+    /// The modern Fediverse: ~30K instances (Xavier 2024) and a
+    /// million-account follower graph.
+    Modern,
+}
+
+impl ScaleTier {
+    /// Every tier, ascending by instance count (largest world last).
+    pub const ALL: [ScaleTier; 3] = [ScaleTier::Paper2019, ScaleTier::Mid, ScaleTier::Modern];
+
+    /// Canonical lowercase name (stable: used in CLI flags and bench
+    /// records).
+    pub fn name(self) -> &'static str {
+        match self {
+            ScaleTier::Paper2019 => "paper2019",
+            ScaleTier::Mid => "mid",
+            ScaleTier::Modern => "modern",
+        }
+    }
+
+    /// Parse a tier name as written in CLI flags; accepts the canonical
+    /// names plus the `paper-2019` spelling. Returns `None` for anything
+    /// else.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s.to_ascii_lowercase().as_str() {
+            "paper2019" | "paper-2019" | "paper" => Some(ScaleTier::Paper2019),
+            "mid" => Some(ScaleTier::Mid),
+            "modern" => Some(ScaleTier::Modern),
+            _ => None,
+        }
+    }
+
+    /// Number of instances in this tier's world.
+    pub fn n_instances(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 4_328,
+            ScaleTier::Mid => 12_000,
+            ScaleTier::Modern => 30_000,
+        }
+    }
+
+    /// Number of user accounts in this tier's world.
+    pub fn n_users(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 853_000,
+            ScaleTier::Mid => 250_000,
+            ScaleTier::Modern => 1_000_000,
+        }
+    }
+
+    /// Number of hosting ASes (grows sublinearly with instances: hosting
+    /// stays concentrated, which is the paper's §4 point).
+    pub fn n_providers(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 351,
+            ScaleTier::Mid => 520,
+            ScaleTier::Modern => 900,
+        }
+    }
+
+    /// Rounds of 1% removals for the Fig. 12 iterative attack at this tier.
+    pub fn fig12_steps(self) -> usize {
+        100
+    }
+
+    /// Fig. 13a sweep depth (instances removed) given the tier's world:
+    /// a quarter of the instance population, like the paper's x-axis.
+    pub fn fig13_max_instances(self) -> usize {
+        self.n_instances() / 4
+    }
+
+    /// Fig. 13b sweep depth (ASes removed).
+    pub fn fig13_max_ases(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 30,
+            ScaleTier::Mid => 40,
+            ScaleTier::Modern => 50,
+        }
+    }
+
+    /// Monte-Carlo trials for the Fig. 12 random-removal baseline (fewer
+    /// at larger scales: each trial already averages over more nodes).
+    pub fn baseline_trials(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 8,
+            ScaleTier::Mid => 8,
+            ScaleTier::Modern => 4,
+        }
+    }
+}
+
+impl std::fmt::Display for ScaleTier {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip_through_parse() {
+        for tier in ScaleTier::ALL {
+            assert_eq!(ScaleTier::parse(tier.name()), Some(tier));
+        }
+        assert_eq!(ScaleTier::parse("paper-2019"), Some(ScaleTier::Paper2019));
+        assert_eq!(ScaleTier::parse("MODERN"), Some(ScaleTier::Modern));
+        assert_eq!(ScaleTier::parse("gigantic"), None);
+    }
+
+    #[test]
+    fn tiers_scale_monotonically() {
+        assert!(ScaleTier::Mid.n_instances() > ScaleTier::Paper2019.n_instances());
+        assert!(ScaleTier::Modern.n_instances() > ScaleTier::Mid.n_instances());
+        assert!(ScaleTier::Modern.n_users() >= 1_000_000);
+        assert_eq!(ScaleTier::Paper2019.n_instances(), 4_328);
+        assert_eq!(ScaleTier::Paper2019.n_users(), 853_000);
+        // providers grow sublinearly relative to instances
+        for tier in ScaleTier::ALL {
+            assert!(tier.n_providers() < tier.n_instances() / 5);
+        }
+    }
+
+    #[test]
+    fn sweep_depths_positive_and_in_range() {
+        for tier in ScaleTier::ALL {
+            assert!(tier.fig12_steps() > 0);
+            assert!(tier.fig13_max_instances() > 0);
+            assert!(tier.fig13_max_instances() <= tier.n_instances());
+            assert!(tier.fig13_max_ases() <= tier.n_providers());
+            assert!(tier.baseline_trials() > 0);
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(format!("{}", ScaleTier::Mid), "mid");
+    }
+}

@@ -14,8 +14,9 @@ pub fn gini(values: &[f64]) -> Option<f64> {
         return None;
     }
     let mut v = values.to_vec();
-    assert!(v.iter().all(|x| *x >= 0.0), "gini: negative value");
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in gini input"));
+    // NaN fails the >= too, so corrupt input still fails fast here.
+    assert!(v.iter().all(|x| *x >= 0.0), "gini: negative or NaN value");
+    v.sort_unstable_by(f64::total_cmp);
     let n = v.len() as f64;
     let total: f64 = v.iter().sum();
     if total == 0.0 {
@@ -35,7 +36,8 @@ pub fn gini(values: &[f64]) -> Option<f64> {
 /// the *ascending*-sorted values, starting at `(0, 0)` and ending at `(1, 1)`.
 pub fn lorenz(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in lorenz input"));
+    assert!(v.iter().all(|x| !x.is_nan()), "lorenz: NaN value");
+    v.sort_unstable_by(f64::total_cmp);
     let total: f64 = v.iter().sum();
     let n = v.len() as f64;
     let mut out = vec![(0.0, 0.0)];
@@ -66,8 +68,9 @@ pub fn top_share(values: &[f64], frac: f64) -> Option<f64> {
         return None;
     }
     let mut v = values.to_vec();
+    assert!(v.iter().all(|x| !x.is_nan()), "top_share: NaN value");
     // descending
-    v.sort_by(|a, b| b.partial_cmp(a).expect("NaN in top_share input"));
+    v.sort_unstable_by(|a, b| f64::total_cmp(b, a));
     let k = ((frac * v.len() as f64).ceil() as usize).min(v.len());
     Some(v[..k].iter().sum::<f64>() / total)
 }
@@ -84,7 +87,8 @@ pub fn holders_for_share(values: &[f64], share: f64) -> Option<f64> {
         return None;
     }
     let mut v = values.to_vec();
-    v.sort_by(|a, b| b.partial_cmp(a).expect("NaN input"));
+    assert!(v.iter().all(|x| !x.is_nan()), "holders_for_share: NaN value");
+    v.sort_unstable_by(|a, b| f64::total_cmp(b, a));
     let target = share.clamp(0.0, 1.0) * total;
     let mut acc = 0.0;
     for (i, &x) in v.iter().enumerate() {

@@ -63,7 +63,8 @@ pub fn quantile_sorted(sorted: &[f64], q: f64) -> Option<f64> {
 /// Convenience: sort a copy of `data` and take a quantile.
 pub fn quantile(data: &[f64], q: f64) -> Option<f64> {
     let mut v: Vec<f64> = data.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    assert!(v.iter().all(|x| !x.is_nan()), "quantile: NaN value");
+    v.sort_unstable_by(f64::total_cmp);
     quantile_sorted(&v, q)
 }
 

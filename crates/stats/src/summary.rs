@@ -30,7 +30,8 @@ impl Summary {
             return None;
         }
         let mut v = data.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in Summary input"));
+        assert!(v.iter().all(|x| !x.is_nan()), "NaN in Summary input");
+        v.sort_unstable_by(f64::total_cmp);
         Some(Self {
             n: v.len(),
             mean: crate::mean(&v)?,
@@ -74,7 +75,8 @@ impl BoxStats {
             return None;
         }
         let mut v = data.to_vec();
-        v.sort_by(|a, b| a.partial_cmp(b).expect("NaN in BoxStats input"));
+        assert!(v.iter().all(|x| !x.is_nan()), "NaN in BoxStats input");
+        v.sort_unstable_by(f64::total_cmp);
         let q1 = crate::quantile_sorted(&v, 0.25)?;
         let median = crate::quantile_sorted(&v, 0.5)?;
         let q3 = crate::quantile_sorted(&v, 0.75)?;

@@ -5,6 +5,8 @@
 //! large a world is generated; the *shapes* are scale-free, so analyses on a
 //! `tiny()` world reproduce the same qualitative results as `paper_scaled()`.
 
+pub use fediscope_model::scale::ScaleTier;
+
 /// Knobs for [`crate::Generator`].
 #[derive(Debug, Clone)]
 pub struct WorldConfig {
@@ -125,6 +127,21 @@ impl WorldConfig {
         }
     }
 
+    /// Preset for a named [`ScaleTier`] (paper-2019 / mid / modern). The
+    /// calibrated *shape* constants stay fixed — only population counts
+    /// move, so per-tier analyses differ in scale, not in law. The Twitter
+    /// baseline is scaled down (1:15) to keep tier benchmarks focused on
+    /// the Mastodon graph.
+    pub fn for_tier(tier: ScaleTier, seed: u64) -> Self {
+        Self {
+            n_instances: tier.n_instances(),
+            n_users: tier.n_users(),
+            n_providers: tier.n_providers(),
+            twitter_users: (tier.n_users() / 15).max(1_000),
+            ..Self::base(seed)
+        }
+    }
+
     fn base(seed: u64) -> Self {
         Self {
             seed,
@@ -197,6 +214,24 @@ mod tests {
         assert!((c.churn_frac - 0.213).abs() < 1e-9);
         assert!((c.toots_per_user_open - 94.8).abs() < 1e-9);
         assert!((c.toots_per_user_closed - 186.65).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tier_presets_match_tier_tables() {
+        for tier in ScaleTier::ALL {
+            let c = WorldConfig::for_tier(tier, 5);
+            assert_eq!(c.n_instances, tier.n_instances());
+            assert_eq!(c.n_users, tier.n_users());
+            assert_eq!(c.n_providers, tier.n_providers());
+            assert_eq!(c.seed, 5);
+            assert!(c.twitter_users < c.n_users);
+            // shape constants are tier-independent
+            assert!((c.mean_out_degree - 10.8).abs() < 1e-9);
+        }
+        assert_eq!(
+            WorldConfig::for_tier(ScaleTier::Modern, 1).n_users,
+            1_000_000
+        );
     }
 
     #[test]

@@ -31,11 +31,12 @@ pub mod availability;
 pub mod config;
 pub mod growth;
 pub mod instances;
+pub mod pools;
 pub mod social;
 pub mod twitter;
 pub mod users;
 
-pub use config::{sub_seed, WorldConfig};
+pub use config::{sub_seed, ScaleTier, WorldConfig};
 
 use fediscope_model::geo::ProviderCatalog;
 use fediscope_model::world::World;
@@ -56,6 +57,27 @@ impl Generator {
     /// Convenience: generate a world straight from a config.
     pub fn generate_world(cfg: WorldConfig) -> World {
         Self::new(cfg).generate()
+    }
+
+    /// Run only the stages the follower graph needs (instances → users →
+    /// social) and stream each follow edge into `sink` instead of
+    /// materialising the edge list. Returns the number of user nodes.
+    ///
+    /// The sub-seeded RNG streams are the same ones [`Self::generate`]
+    /// uses, so the edge stream is bit-identical to the `follows` of a
+    /// full world from the same config — this is the path large-scale
+    /// benchmarks use to pipe a million-user graph straight into a CSR
+    /// builder without the ~100 MB intermediate `Vec`.
+    pub fn stream_social_edges(cfg: &WorldConfig, sink: &mut dyn FnMut(u32, u32)) -> usize {
+        let providers = ProviderCatalog::with_tail(cfg.n_providers);
+        let mut r_inst = StdRng::seed_from_u64(sub_seed(cfg.seed, 1));
+        let stage = instances::generate(cfg, &providers, &mut r_inst);
+        let mut instances = stage.instances;
+        let mut r_users = StdRng::seed_from_u64(sub_seed(cfg.seed, 2));
+        let users = users::generate(cfg, &mut instances, &stage.popularity, &mut r_users);
+        let mut r_social = StdRng::seed_from_u64(sub_seed(cfg.seed, 3));
+        social::generate_with(cfg, &instances, &users, &mut r_social, sink);
+        users.len()
     }
 
     /// Run the full pipeline and validate the result.
@@ -121,6 +143,19 @@ mod tests {
         assert_eq!(a.schedules, b.schedules);
         assert_eq!(a.growth, b.growth);
         assert_eq!(a.twitter, b.twitter);
+    }
+
+    #[test]
+    fn streamed_social_edges_match_world_follows() {
+        use fediscope_model::ids::UserId;
+        let cfg = WorldConfig::tiny(3);
+        let w = Generator::generate_world(cfg.clone());
+        let mut edges: Vec<(UserId, UserId)> = Vec::new();
+        let n = Generator::stream_social_edges(&cfg, &mut |a, b| {
+            edges.push((UserId(a), UserId(b)))
+        });
+        assert_eq!(n, w.users.len());
+        assert_eq!(edges, w.follows);
     }
 
     #[test]

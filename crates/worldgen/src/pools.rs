@@ -1,0 +1,211 @@
+//! Flat attachment-pool storage for the preferential-attachment generator.
+//!
+//! At modern-Fediverse scale (30K instances, 1M+ accounts, ~10M follow
+//! edges) the social generator's per-instance and per-country attachment
+//! pools dominate memory traffic. `Vec<Vec<u32>>` puts every domain's pool
+//! in its own allocation (tens of thousands of independently growing
+//! vectors); the structures here keep everything in a handful of flat
+//! arrays:
+//!
+//! - [`Membership`]: CSR-style *static* member lists (offsets + one flat
+//!   member array), built once from counting passes.
+//! - [`SegmentedPools`]: *growing* per-domain pools stored in one shared
+//!   arena. Each domain owns a geometric series of segments (8, 16, 32, …
+//!   slots) whose arena offsets live in one flat directory, so `push` and
+//!   uniform random `get` are O(1) with two array reads and growth never
+//!   moves existing elements.
+//!
+//! Both preserve pool contents and ordering exactly, so swapping them in
+//! for `Vec<Vec<u32>>` leaves the generator's RNG-driven output
+//! bit-identical.
+
+/// CSR-style static membership lists: `domain -> &[u32]` built once.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    offsets: Vec<u32>,
+    members: Vec<u32>,
+}
+
+impl Membership {
+    /// Build from `(domain, member)` pairs; members appear in each domain's
+    /// slice in the order the iterator yields them. The iterator is
+    /// consumed twice (counting pass + fill pass), hence `Clone`.
+    pub fn new(n_domains: usize, pairs: impl Iterator<Item = (u32, u32)> + Clone) -> Self {
+        let mut offsets = vec![0u32; n_domains + 1];
+        for (d, _) in pairs.clone() {
+            offsets[d as usize + 1] += 1;
+        }
+        for i in 0..n_domains {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut members = vec![0u32; offsets[n_domains] as usize];
+        let mut cursor: Vec<u32> = offsets[..n_domains].to_vec();
+        for (d, m) in pairs {
+            members[cursor[d as usize] as usize] = m;
+            cursor[d as usize] += 1;
+        }
+        Self { offsets, members }
+    }
+
+    /// Members of `domain`, in insertion order.
+    pub fn domain(&self, domain: usize) -> &[u32] {
+        let lo = self.offsets[domain] as usize;
+        let hi = self.offsets[domain + 1] as usize;
+        &self.members[lo..hi]
+    }
+
+    /// Total members across all domains.
+    pub fn total(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// First-segment capacity (must be a power of two; segment `s` holds
+/// `SEG0 << s` slots, so a domain's capacity doubles with each new
+/// segment).
+const SEG0: u32 = 8;
+/// Segments per domain in the flat directory. Capacity with 28 segments is
+/// `8·(2^28 − 1)` ≈ 2.1B elements per domain — beyond any u32-indexed
+/// arena.
+const SEGS: usize = 28;
+
+/// Growing per-domain `u32` pools in one shared arena.
+///
+/// The directory row for a domain holds the arena offset of each of its
+/// segments; index `i` lives in segment `⌊log2(i/SEG0 + 1)⌋` at offset
+/// `i − (SEG0·2^seg − SEG0)`, both O(1) bit operations.
+#[derive(Debug, Clone)]
+pub struct SegmentedPools {
+    arena: Vec<u32>,
+    dir: Vec<u32>,
+    len: Vec<u32>,
+}
+
+impl SegmentedPools {
+    /// `n_domains` empty pools.
+    pub fn new(n_domains: usize) -> Self {
+        Self {
+            arena: Vec::new(),
+            dir: vec![0; n_domains * SEGS],
+            len: vec![0; n_domains],
+        }
+    }
+
+    /// Segment index and in-segment offset of logical index `i`.
+    #[inline]
+    fn locate(i: u32) -> (usize, u32) {
+        let t = i / SEG0 + 1;
+        let seg = (31 - t.leading_zeros()) as usize;
+        let seg_start = (SEG0 << seg) - SEG0;
+        (seg, i - seg_start)
+    }
+
+    /// Number of elements in `domain`'s pool.
+    #[inline]
+    pub fn len(&self, domain: usize) -> usize {
+        self.len[domain] as usize
+    }
+
+    /// Whether `domain`'s pool is empty.
+    #[inline]
+    pub fn is_empty(&self, domain: usize) -> bool {
+        self.len[domain] == 0
+    }
+
+    /// The `i`-th element ever pushed to `domain` (0-based).
+    #[inline]
+    pub fn get(&self, domain: usize, i: usize) -> u32 {
+        debug_assert!(i < self.len(domain));
+        let (seg, off) = Self::locate(i as u32);
+        self.arena[(self.dir[domain * SEGS + seg] + off) as usize]
+    }
+
+    /// Append `value` to `domain`'s pool.
+    #[inline]
+    pub fn push(&mut self, domain: usize, value: u32) {
+        let i = self.len[domain];
+        let (seg, off) = Self::locate(i);
+        if off == 0 {
+            // First element of a fresh segment: claim it at the arena end.
+            let base = self.arena.len() as u32;
+            self.dir[domain * SEGS + seg] = base;
+            self.arena.resize(self.arena.len() + (SEG0 << seg) as usize, 0);
+        }
+        self.arena[(self.dir[domain * SEGS + seg] + off) as usize] = value;
+        self.len[domain] = i + 1;
+    }
+
+    /// Total elements across all domains (arena slack excluded).
+    pub fn total(&self) -> usize {
+        self.len.iter().map(|&l| l as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn membership_matches_vec_of_vecs() {
+        let pairs = [(2u32, 10u32), (0, 11), (2, 12), (1, 13), (2, 14)];
+        let m = Membership::new(4, pairs.iter().copied());
+        assert_eq!(m.domain(0), &[11]);
+        assert_eq!(m.domain(1), &[13]);
+        assert_eq!(m.domain(2), &[10, 12, 14]);
+        assert_eq!(m.domain(3), &[] as &[u32]);
+        assert_eq!(m.total(), 5);
+    }
+
+    #[test]
+    fn locate_segments_partition_indices() {
+        // indices 0..8 -> seg 0, 8..24 -> seg 1, 24..56 -> seg 2, …
+        assert_eq!(SegmentedPools::locate(0), (0, 0));
+        assert_eq!(SegmentedPools::locate(7), (0, 7));
+        assert_eq!(SegmentedPools::locate(8), (1, 0));
+        assert_eq!(SegmentedPools::locate(23), (1, 15));
+        assert_eq!(SegmentedPools::locate(24), (2, 0));
+        assert_eq!(SegmentedPools::locate(55), (2, 31));
+        assert_eq!(SegmentedPools::locate(56), (3, 0));
+    }
+
+    #[test]
+    fn push_get_round_trip_single_domain() {
+        let mut p = SegmentedPools::new(1);
+        for v in 0..1000u32 {
+            p.push(0, v * 7);
+        }
+        assert_eq!(p.len(0), 1000);
+        for i in 0..1000usize {
+            assert_eq!(p.get(0, i), i as u32 * 7);
+        }
+    }
+
+    #[test]
+    fn interleaved_domains_stay_separate() {
+        let mut p = SegmentedPools::new(3);
+        let mut model: Vec<Vec<u32>> = vec![Vec::new(); 3];
+        // deterministic interleaving across domains
+        let mut s = 0x9e3779b97f4a7c15u64;
+        for step in 0..5000u32 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let d = (s >> 33) as usize % 3;
+            p.push(d, step);
+            model[d].push(step);
+        }
+        for (d, expected) in model.iter().enumerate() {
+            assert_eq!(p.len(d), expected.len());
+            for (i, &v) in expected.iter().enumerate() {
+                assert_eq!(p.get(d, i), v, "domain {d} index {i}");
+            }
+        }
+        assert_eq!(p.total(), 5000);
+        assert!(p.is_empty(0) == model[0].is_empty());
+    }
+
+    #[test]
+    fn empty_pools_report_empty() {
+        let p = SegmentedPools::new(2);
+        assert!(p.is_empty(0) && p.is_empty(1));
+        assert_eq!(p.total(), 0);
+    }
+}

@@ -11,6 +11,7 @@
 //!   instances in its LCC and 32% same-country subscription links (Fig. 6).
 
 use crate::config::WorldConfig;
+use crate::pools::{Membership, SegmentedPools};
 use fediscope_model::geo::Country;
 use fediscope_model::ids::UserId;
 use fediscope_model::instance::Instance;
@@ -58,15 +59,54 @@ fn sample_out_degree<R: Rng>(alpha: f64, cap: u32, rng: &mut R) -> u32 {
 /// Fraction of zero-out-degree accounts would break the "every scraped
 /// account has at least one edge" invariant of the Graphs dataset, so the
 /// minimum is 1; the heavy tail provides the hubs.
+///
+/// Convenience wrapper over [`generate_with`] that collects the edge
+/// stream into a `Vec` (the [`World`](fediscope_model::world::World)
+/// representation). Large-scale consumers that only need the graph should
+/// call [`generate_with`] and stream edges straight into a CSR builder —
+/// at a million users the intermediate edge list alone is ~100 MB.
 pub fn generate<R: Rng>(
     cfg: &WorldConfig,
     instances: &[Instance],
     users: &[UserProfile],
     rng: &mut R,
 ) -> Vec<(UserId, UserId)> {
+    let mut edges: Vec<(UserId, UserId)> =
+        Vec::with_capacity((users.len() as f64 * cfg.mean_out_degree) as usize);
+    generate_with(cfg, instances, users, rng, &mut |a, b| {
+        edges.push((UserId(a), UserId(b)))
+    });
+    edges
+}
+
+/// Which attachment pool a follow draw copies from.
+enum PoolChoice {
+    /// Same-instance pool (index into the instance table).
+    Inst(usize),
+    /// Same-country pool (index into `Country::ALL`).
+    Country(usize),
+    /// The global pool.
+    Global,
+}
+
+/// Streaming core of the follower-graph generator: `sink` is invoked once
+/// per generated edge `(follower, followee)`, in generation order.
+///
+/// The edge stream is bit-identical to what [`generate`] collects — the
+/// attachment pools were moved from `Vec<Vec<u32>>` onto the flat
+/// [`SegmentedPools`]/[`Membership`] arenas (one allocation apiece instead
+/// of one per instance), which preserves pool contents and ordering and
+/// therefore the entire RNG draw sequence.
+pub fn generate_with<R: Rng>(
+    cfg: &WorldConfig,
+    instances: &[Instance],
+    users: &[UserProfile],
+    rng: &mut R,
+    sink: &mut dyn FnMut(u32, u32),
+) {
     let n = users.len();
     if n < 2 {
-        return Vec::new();
+        return;
     }
 
     // Membership indexes. Followees are drawn from *tooting* users only —
@@ -78,16 +118,25 @@ pub fn generate<R: Rng>(
         .iter()
         .map(|i| Country::ALL.iter().position(|&c| c == i.country).unwrap())
         .collect();
-    let mut tooting_by_instance: Vec<Vec<u32>> = vec![Vec::new(); instances.len()];
-    let mut tooting_by_country: Vec<Vec<u32>> = vec![Vec::new(); Country::ALL.len()];
-    let mut tooting_all: Vec<u32> = Vec::new();
-    for u in users {
-        if u.has_tooted() {
-            tooting_by_instance[u.instance.index()].push(u.id.0);
-            tooting_by_country[country_of_instance[u.instance.index()]].push(u.id.0);
-            tooting_all.push(u.id.0);
-        }
-    }
+    let tooting_by_instance = Membership::new(
+        instances.len(),
+        users
+            .iter()
+            .filter(|u| u.has_tooted())
+            .map(|u| (u.instance.index() as u32, u.id.0)),
+    );
+    let tooting_by_country = Membership::new(
+        Country::ALL.len(),
+        users
+            .iter()
+            .filter(|u| u.has_tooted())
+            .map(|u| (country_of_instance[u.instance.index()] as u32, u.id.0)),
+    );
+    let mut tooting_all: Vec<u32> = users
+        .iter()
+        .filter(|u| u.has_tooted())
+        .map(|u| u.id.0)
+        .collect();
     if tooting_all.is_empty() {
         // degenerate world without content: fall back to everyone
         tooting_all = (0..n as u32).collect();
@@ -96,8 +145,8 @@ pub fn generate<R: Rng>(
     // Copy-model pools: a draw from a pool implements linear preferential
     // attachment because frequently-followed accounts occur more often.
     let mut global_pool: Vec<u32> = Vec::with_capacity(n * 12);
-    let mut inst_pools: Vec<Vec<u32>> = vec![Vec::new(); instances.len()];
-    let mut country_pools: Vec<Vec<u32>> = vec![Vec::new(); Country::ALL.len()];
+    let mut inst_pools = SegmentedPools::new(instances.len());
+    let mut country_pools = SegmentedPools::new(Country::ALL.len());
 
     // Probability of a uniform (non-copied) draw. Kept small: a large
     // uniform mix builds an Erdős–Rényi backbone that survives hub removal,
@@ -112,8 +161,6 @@ pub fn generate<R: Rng>(
         / cfg.tooting_frac)
         .max(2.0);
     let alpha_tooting = solve_alpha(tooting_mean, cap);
-    let mut edges: Vec<(UserId, UserId)> =
-        Vec::with_capacity((n as f64 * cfg.mean_out_degree) as usize);
 
     // Visit users in a shuffled order so early ids get no structural
     // advantage.
@@ -137,18 +184,31 @@ pub fn generate<R: Rng>(
 
         for _ in 0..d {
             let roll: f64 = rng.gen();
-            let (pool, domain): (&Vec<u32>, &Vec<u32>) = if roll < cfg.p_follow_same_instance {
-                (&inst_pools[inst], &tooting_by_instance[inst])
+            let (pool, domain): (PoolChoice, &[u32]) = if roll < cfg.p_follow_same_instance {
+                (PoolChoice::Inst(inst), tooting_by_instance.domain(inst))
             } else if roll < cfg.p_follow_same_instance + cfg.p_follow_same_country {
-                (&country_pools[country], &tooting_by_country[country])
+                (
+                    PoolChoice::Country(country),
+                    tooting_by_country.domain(country),
+                )
             } else {
-                (&global_pool, &tooting_all)
+                (PoolChoice::Global, &tooting_all)
+            };
+            let pool_len = match pool {
+                PoolChoice::Inst(i) => inst_pools.len(i),
+                PoolChoice::Country(c) => country_pools.len(c),
+                PoolChoice::Global => global_pool.len(),
             };
 
             let mut target: Option<u32> = None;
             for _attempt in 0..4 {
-                let cand = if !pool.is_empty() && rng.gen::<f64>() > UNIFORM_MIX {
-                    pool[rng.gen_range(0..pool.len())]
+                let cand = if pool_len > 0 && rng.gen::<f64>() > UNIFORM_MIX {
+                    let i = rng.gen_range(0..pool_len);
+                    match pool {
+                        PoolChoice::Inst(d) => inst_pools.get(d, i),
+                        PoolChoice::Country(d) => country_pools.get(d, i),
+                        PoolChoice::Global => global_pool[i],
+                    }
                 } else if !domain.is_empty() {
                     domain[rng.gen_range(0..domain.len())]
                 } else {
@@ -161,15 +221,14 @@ pub fn generate<R: Rng>(
                 }
             }
             let Some(t) = target else { continue };
-            edges.push((UserId(uid), UserId(t)));
+            sink(uid, t);
             // Reinforce pools (linear PA).
             global_pool.push(t);
             let t_inst = users[t as usize].instance.index();
-            inst_pools[t_inst].push(t);
-            country_pools[country_of_instance[t_inst]].push(t);
+            inst_pools.push(t_inst, t);
+            country_pools.push(country_of_instance[t_inst], t);
         }
     }
-    edges
 }
 
 #[cfg(test)]

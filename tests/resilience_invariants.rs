@@ -65,8 +65,9 @@ fn subscription_availability_dominated_by_graph_survival() {
 #[test]
 fn federation_lcc_user_weight_matches_world_totals() {
     let o = obs();
-    let sweep = fediscope::graph::RemovalSweep::new(o.federation_graph())
-        .with_weights(o.user_weights());
+    let weights = o.user_weights();
+    let sweep =
+        fediscope::graph::RemovalSweep::new(o.federation_graph()).with_weights(&weights);
     let pts = sweep.ranked(&[], &[0]);
     // nothing removed: the LCC weight cannot exceed the world's user count
     let total_users = o.world.users.len() as f64;
