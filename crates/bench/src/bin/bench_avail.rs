@@ -1,0 +1,557 @@
+//! `bench_avail` — pin the batched availability engine's speedups and
+//! record trajectory points in `BENCH_avail.json` (one JSON object per
+//! line, appended — the file is a history, not a snapshot).
+//!
+//! ```text
+//! bench_avail [--quick] [--seed N] [--out PATH] [--tier paper2019|mid|modern]
+//! ```
+//!
+//! Three engines are compared on the same workloads; all must produce
+//! bit-identical curves:
+//!
+//! 1. **seed** — the pre-PR evaluator, kept verbatim here: per-user
+//!    `Vec<Vec<u32>>` holder lists and one full population scan per
+//!    strategy. This is the `naive_seconds` baseline.
+//! 2. **reference** — `fediscope_replication::eval::availability_curve`,
+//!    the same per-strategy algorithm reading the flat CSR `ContentView`
+//!    (kept in-crate as the differential-test baseline); recorded as
+//!    `naive_csr_seconds`.
+//! 3. **batched** — [`AvailabilitySweep`]: every strategy folded out of
+//!    one pass over the removed instances' resident users.
+//!
+//! Without `--tier`, a 100k-user world runs Fig. 16's multi-n workload
+//! (No-Rep + S-Rep + Random{1,2,3,4,7,9} under top-instance removal); the
+//! batched engine must beat the seed path by ≥5x. With `--tier`, the
+//! named [`ScaleTier`] world (the `modern` tier stands up 30k instances
+//! and a million users) records both the Fig. 15 (instance + AS removal)
+//! and Fig. 16 workloads as that tier's datapoint.
+//!
+//! `--quick` shrinks the non-tier scale and timing repetitions for CI
+//! smoke runs; the identity check and the ≥5x floor are enforced in every
+//! mode (the speedup is structural — eight scans collapse into one — so
+//! it holds at smoke scale too).
+
+use fediscope_core::content::FIG16_NS as NS;
+use fediscope_core::{Metric, Observatory};
+use fediscope_replication::eval::{
+    availability_curve, singleton_groups, AvailabilityPoint, AvailabilitySweep, Strategy,
+};
+use fediscope_worldgen::{Generator, ScaleTier, WorldConfig};
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Render the replica-count list as a JSON array literal.
+fn ns_json() -> String {
+    let items: Vec<String> = NS.iter().map(usize::to_string).collect();
+    format!("[{}]", items.join(","))
+}
+
+/// The seed evaluator, preserved verbatim as the pre-PR baseline: nested
+/// per-user holder `Vec`s and one full scan per strategy. Only the
+/// `ContentView` plumbing was renamed; every loop and float expression is
+/// the seed's, so its curves pin the baseline semantics exactly.
+mod seed {
+    use super::{AvailabilityPoint, Observatory, Strategy};
+
+    pub struct SeedView {
+        pub n_instances: usize,
+        pub home: Vec<u32>,
+        pub toots: Vec<u64>,
+        pub follower_instances: Vec<Vec<u32>>,
+        pub total_toots: u64,
+    }
+
+    impl SeedView {
+        pub fn from_obs(obs: &Observatory) -> Self {
+            let world = &obs.world;
+            let n_users = world.users.len();
+            let home: Vec<u32> = world.users.iter().map(|u| u.instance.0).collect();
+            let toots: Vec<u64> = world.users.iter().map(|u| u.toot_count as u64).collect();
+            let mut follower_instances: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+            for &(a, b) in &world.follows {
+                follower_instances[b.index()].push(home[a.index()]);
+            }
+            for list in &mut follower_instances {
+                list.sort_unstable();
+                list.dedup();
+            }
+            let total_toots = toots.iter().sum();
+            SeedView {
+                n_instances: world.instances.len(),
+                home,
+                toots,
+                follower_instances,
+                total_toots,
+            }
+        }
+
+        fn n_users(&self) -> usize {
+            self.home.len()
+        }
+    }
+
+    fn removal_steps(n_instances: usize, groups: &[Vec<u32>]) -> Vec<usize> {
+        let mut step = vec![usize::MAX; n_instances];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                if step[m as usize] == usize::MAX {
+                    step[m as usize] = g + 1;
+                }
+            }
+        }
+        step
+    }
+
+    fn fold_availability(death: &[f64], steps: usize, total: f64) -> Vec<AvailabilityPoint> {
+        let mut lost = 0.0;
+        let mut out = Vec::with_capacity(steps + 1);
+        out.push(AvailabilityPoint {
+            removed: 0,
+            availability: 1.0,
+        });
+        for (k, &dead) in death.iter().enumerate().take(steps + 1).skip(1) {
+            lost += dead;
+            out.push(AvailabilityPoint {
+                removed: k,
+                availability: 1.0 - lost / total,
+            });
+        }
+        out
+    }
+
+    pub fn availability_curve(
+        view: &SeedView,
+        strategy: Strategy,
+        groups: &[Vec<u32>],
+    ) -> Vec<AvailabilityPoint> {
+        match strategy {
+            Strategy::Random { n } => random_expectation_curve(view, n, groups),
+            _ => exact_curve(view, strategy, groups),
+        }
+    }
+
+    fn exact_curve(
+        view: &SeedView,
+        strategy: Strategy,
+        groups: &[Vec<u32>],
+    ) -> Vec<AvailabilityPoint> {
+        let steps = removal_steps(view.n_instances, groups);
+        let mut death_toots = vec![0.0f64; groups.len() + 2];
+        for u in 0..view.n_users() {
+            let home_step = steps[view.home[u] as usize];
+            let death = match strategy {
+                Strategy::NoReplication => home_step,
+                Strategy::Subscription => {
+                    let mut death = home_step;
+                    for &f in &view.follower_instances[u] {
+                        death = death.max(steps[f as usize]);
+                    }
+                    death
+                }
+                Strategy::Random { .. } => unreachable!("handled elsewhere"),
+            };
+            if death != usize::MAX && death <= groups.len() {
+                death_toots[death] += view.toots[u] as f64;
+            }
+        }
+        let total = view.total_toots.max(1) as f64;
+        fold_availability(&death_toots, groups.len(), total)
+    }
+
+    fn random_expectation_curve(
+        view: &SeedView,
+        n: usize,
+        groups: &[Vec<u32>],
+    ) -> Vec<AvailabilityPoint> {
+        let steps = removal_steps(view.n_instances, groups);
+        let mut home_death_toots = vec![0u64; groups.len() + 2];
+        for u in 0..view.n_users() {
+            let s = steps[view.home[u] as usize];
+            if s != usize::MAX && s <= groups.len() {
+                home_death_toots[s] += view.toots[u];
+            }
+        }
+        let total = view.total_toots.max(1) as f64;
+        let i_total = view.n_instances;
+        let mut removed_count = 0usize;
+        let mut homeless = 0u64;
+        let mut out = Vec::with_capacity(groups.len() + 1);
+        out.push(AvailabilityPoint {
+            removed: 0,
+            availability: 1.0,
+        });
+        for k in 1..=groups.len() {
+            removed_count += groups[k - 1].len();
+            homeless += home_death_toots[k];
+            let mut p_all_gone = 1.0f64;
+            for i in 0..n {
+                let num = removed_count.saturating_sub(i) as f64;
+                let den = (i_total - i).max(1) as f64;
+                p_all_gone *= (num / den).clamp(0.0, 1.0);
+            }
+            let expected_lost = homeless as f64 * p_all_gone;
+            out.push(AvailabilityPoint {
+                removed: k,
+                availability: 1.0 - expected_lost / total,
+            });
+        }
+        out
+    }
+}
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    out: String,
+    tier: Option<ScaleTier>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        seed: 42,
+        out: "BENCH_avail.json".to_string(),
+        tier: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => a.quick = true,
+            "--seed" => {
+                a.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--out" => a.out = it.next().expect("--out needs a path"),
+            "--tier" => {
+                let name = it.next().expect("--tier needs a name");
+                a.tier = Some(
+                    ScaleTier::parse(&name)
+                        .unwrap_or_else(|| panic!("unknown tier {name:?} (paper2019|mid|modern)")),
+                );
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_avail [--quick] [--seed N] [--out PATH] \
+                     [--tier paper2019|mid|modern]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    a
+}
+
+/// Best-of-`trials` wall time of `f`, in seconds.
+fn time(trials: usize, f: &dyn Fn()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// All curves of a workload, in a fixed comparison order.
+type Curves = Vec<Vec<AvailabilityPoint>>;
+
+/// Fig. 16's strategy list: No-Rep, S-Rep, then every Random{n}.
+fn fig16_strategies() -> Vec<Strategy> {
+    let mut s = vec![Strategy::NoReplication, Strategy::Subscription];
+    s.extend(NS.iter().map(|&n| Strategy::Random { n }));
+    s
+}
+
+/// Seed path for Fig. 16: materialise singleton groups, then one full
+/// per-strategy pass over the nested-Vec view.
+fn seed_fig16(view: &seed::SeedView, order: &[u32]) -> Curves {
+    let groups = singleton_groups(order);
+    fig16_strategies()
+        .into_iter()
+        .map(|s| seed::availability_curve(view, s, &groups))
+        .collect()
+}
+
+/// The kept CSR reference for Fig. 16: same per-strategy algorithm over
+/// the flat `ContentView`.
+fn csr_fig16(obs: &Observatory, order: &[u32]) -> Curves {
+    let groups = singleton_groups(order);
+    fig16_strategies()
+        .into_iter()
+        .map(|s| availability_curve(obs.content_view(), s, &groups))
+        .collect()
+}
+
+/// The batched path for Fig. 16: every strategy out of one pass.
+fn batched_fig16(obs: &Observatory, order: &[u32]) -> Curves {
+    let batch = AvailabilitySweep::singletons(obs.content_view(), order).evaluate(&NS);
+    let mut out = Vec::with_capacity(NS.len() + 2);
+    out.push(batch.none);
+    out.push(batch.subscription);
+    out.extend(batch.random.into_iter().map(|(_, c)| c));
+    out
+}
+
+/// Seed path for Fig. 15: four per-strategy passes over two orders.
+fn seed_fig15(view: &seed::SeedView, order: &[u32], as_groups: &[Vec<u32>]) -> Curves {
+    let inst_groups = singleton_groups(order);
+    vec![
+        seed::availability_curve(view, Strategy::NoReplication, &inst_groups),
+        seed::availability_curve(view, Strategy::Subscription, &inst_groups),
+        seed::availability_curve(view, Strategy::NoReplication, as_groups),
+        seed::availability_curve(view, Strategy::Subscription, as_groups),
+    ]
+}
+
+/// CSR reference for Fig. 15.
+fn csr_fig15(obs: &Observatory, order: &[u32], as_groups: &[Vec<u32>]) -> Curves {
+    let view = obs.content_view();
+    let inst_groups = singleton_groups(order);
+    vec![
+        availability_curve(view, Strategy::NoReplication, &inst_groups),
+        availability_curve(view, Strategy::Subscription, &inst_groups),
+        availability_curve(view, Strategy::NoReplication, as_groups),
+        availability_curve(view, Strategy::Subscription, as_groups),
+    ]
+}
+
+/// Batched path for Fig. 15: one pass per removal order.
+fn batched_fig15(obs: &Observatory, order: &[u32], as_groups: &[Vec<u32>]) -> Curves {
+    let view = obs.content_view();
+    let inst = AvailabilitySweep::singletons(view, order).evaluate(&[]);
+    let by_as = AvailabilitySweep::grouped(view, as_groups).evaluate(&[]);
+    vec![inst.none, inst.subscription, by_as.none, by_as.subscription]
+}
+
+struct Comparison {
+    seed_s: f64,
+    csr_s: f64,
+    batched_s: f64,
+    speedup: f64,
+    csr_speedup: f64,
+    identical: bool,
+}
+
+/// Compare and time the three engines on one workload. Divergence is
+/// *recorded* (`identical_output: false`, which CI greps for) rather than
+/// panicking; main exits non-zero afterwards.
+fn compare(
+    label: &str,
+    trials: usize,
+    seed_f: &dyn Fn() -> Curves,
+    csr_f: &dyn Fn() -> Curves,
+    batched_f: &dyn Fn() -> Curves,
+) -> Comparison {
+    let expect = seed_f();
+    let identical = expect == csr_f() && expect == batched_f();
+    if identical {
+        eprintln!("{label}: identity check passed (seed == CSR reference == batched)");
+    } else {
+        eprintln!("{label}: FAIL — engines diverged");
+    }
+    let batched_s = time(trials, &|| {
+        std::hint::black_box(batched_f());
+    });
+    let csr_s = time(trials, &|| {
+        std::hint::black_box(csr_f());
+    });
+    let seed_s = time(trials, &|| {
+        std::hint::black_box(seed_f());
+    });
+    let speedup = seed_s / batched_s;
+    let csr_speedup = csr_s / batched_s;
+    eprintln!(
+        "{label}: batched {batched_s:.4}s, CSR naive {csr_s:.4}s ({csr_speedup:.1}x), \
+         seed naive {seed_s:.4}s ({speedup:.1}x)"
+    );
+    Comparison {
+        seed_s,
+        csr_s,
+        batched_s,
+        speedup,
+        csr_speedup,
+        identical,
+    }
+}
+
+/// Append one JSON line to the trajectory file (and echo it to stdout).
+fn record(out: &str, json: &str) {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out)
+        .expect("open BENCH_avail.json");
+    writeln!(f, "{json}").expect("append BENCH_avail.json");
+    println!("{json}");
+}
+
+fn main() {
+    let args = parse_args();
+    let mode = if args.quick { "quick" } else { "full" };
+    // Best-of-9 in every mode: the minimum is robust to scheduler noise on
+    // shared CI runners, and the workloads are at most tens of ms.
+    let trials = 9;
+
+    let (obs, gen_s, tier_name) = match args.tier {
+        Some(tier) => {
+            eprintln!(
+                "generating {tier} tier world ({} instances, {} users) …",
+                tier.n_instances(),
+                tier.n_users()
+            );
+            let t0 = Instant::now();
+            let obs = Observatory::new(Generator::generate_world(WorldConfig::for_tier(
+                tier, args.seed,
+            )));
+            (obs, t0.elapsed().as_secs_f64(), Some(tier.name()))
+        }
+        None => {
+            let n_users = if args.quick { 20_000 } else { 100_000 };
+            eprintln!("generating {n_users}-user world via worldgen …");
+            let mut cfg = WorldConfig::paper_scaled(args.seed);
+            cfg.n_users = n_users;
+            cfg.twitter_users = 1_000;
+            let t0 = Instant::now();
+            let obs = Observatory::new(Generator::generate_world(cfg));
+            (obs, t0.elapsed().as_secs_f64(), None)
+        }
+    };
+    let view = obs.content_view();
+    let seed_view = seed::SeedView::from_obs(&obs);
+    eprintln!(
+        "world ready in {gen_s:.1}s: {} users, {} instances, {} holder entries",
+        view.n_users(),
+        view.n_instances,
+        view.holder_entries()
+    );
+
+    let full_order = obs.instance_order(Metric::Toots);
+    let mut fail = false;
+
+    match tier_name {
+        Some(tier_str) => {
+            let tier = args.tier.unwrap();
+            let f16_order = &full_order[..tier.fig16_max_instances().min(full_order.len())];
+            let fig16 = compare(
+                "fig16 multi-n",
+                trials,
+                &|| seed_fig16(&seed_view, f16_order),
+                &|| csr_fig16(&obs, f16_order),
+                &|| batched_fig16(&obs, f16_order),
+            );
+            let f15_order = &full_order[..tier.fig15_max_instances().min(full_order.len())];
+            let mut as_groups = obs.as_groups(Metric::Toots);
+            as_groups.truncate(tier.fig15_max_ases());
+            let fig15 = compare(
+                "fig15 inst+AS",
+                trials,
+                &|| seed_fig15(&seed_view, f15_order, &as_groups),
+                &|| csr_fig15(&obs, f15_order, &as_groups),
+                &|| batched_fig15(&obs, f15_order, &as_groups),
+            );
+            record(
+                &args.out,
+                &format!(
+                    "{{\"bench\":\"avail_tier\",\"tier\":\"{tier_str}\",\"mode\":\"{mode}\",\
+                     \"users\":{users},\"instances\":{inst},\"holder_entries\":{he},\
+                     \"seed\":{seed},\"gen_seconds\":{gen_s:.3},\
+                     \"fig16_removals\":{r16},\"fig16_ns\":{ns},\
+                     \"fig16_naive_seconds\":{n16:.6},\"fig16_naive_csr_seconds\":{c16:.6},\
+                     \"fig16_batched_seconds\":{b16:.6},\"fig16_speedup\":{s16:.2},\
+                     \"fig16_csr_speedup\":{cs16:.2},\
+                     \"fig15_removals\":{r15},\"fig15_as_groups\":{g15},\
+                     \"fig15_naive_seconds\":{n15:.6},\"fig15_naive_csr_seconds\":{c15:.6},\
+                     \"fig15_batched_seconds\":{b15:.6},\"fig15_speedup\":{s15:.2},\
+                     \"fig15_csr_speedup\":{cs15:.2},\"identical_output\":{ident}}}",
+                    users = view.n_users(),
+                    inst = view.n_instances,
+                    he = view.holder_entries(),
+                    seed = args.seed,
+                    ns = ns_json(),
+                    r16 = f16_order.len(),
+                    n16 = fig16.seed_s,
+                    c16 = fig16.csr_s,
+                    b16 = fig16.batched_s,
+                    s16 = fig16.speedup,
+                    cs16 = fig16.csr_speedup,
+                    r15 = f15_order.len(),
+                    g15 = as_groups.len(),
+                    n15 = fig15.seed_s,
+                    c15 = fig15.csr_s,
+                    b15 = fig15.batched_s,
+                    s15 = fig15.speedup,
+                    cs15 = fig15.csr_speedup,
+                    ident = fig16.identical && fig15.identical,
+                ),
+            );
+            for (label, cmp) in [("fig16", &fig16), ("fig15", &fig15)] {
+                if !cmp.identical {
+                    eprintln!("FAIL: {label} engines diverged");
+                    fail = true;
+                }
+            }
+            // the acceptance floor rides the multi-n workload
+            if fig16.speedup < 5.0 {
+                eprintln!(
+                    "FAIL: fig16 speedup {:.1}x below the 5x acceptance floor",
+                    fig16.speedup
+                );
+                fail = true;
+            }
+        }
+        None => {
+            let k = 25.min(full_order.len());
+            let order = &full_order[..k];
+            let fig16 = compare(
+                "fig16 multi-n",
+                trials,
+                &|| seed_fig16(&seed_view, order),
+                &|| csr_fig16(&obs, order),
+                &|| batched_fig16(&obs, order),
+            );
+            record(
+                &args.out,
+                &format!(
+                    "{{\"bench\":\"fig16_multi_n\",\"mode\":\"{mode}\",\
+                     \"users\":{users},\"instances\":{inst},\"holder_entries\":{he},\
+                     \"removals\":{k},\"ns\":{ns},\"seed\":{seed},\
+                     \"naive_seconds\":{n:.6},\"naive_csr_seconds\":{c:.6},\
+                     \"batched_seconds\":{b:.6},\"speedup\":{s:.2},\
+                     \"csr_speedup\":{cs:.2},\"identical_output\":{ident}}}",
+                    users = view.n_users(),
+                    inst = view.n_instances,
+                    he = view.holder_entries(),
+                    seed = args.seed,
+                    ns = ns_json(),
+                    n = fig16.seed_s,
+                    c = fig16.csr_s,
+                    b = fig16.batched_s,
+                    s = fig16.speedup,
+                    cs = fig16.csr_speedup,
+                    ident = fig16.identical,
+                ),
+            );
+            if !fig16.identical {
+                eprintln!("FAIL: engines diverged");
+                fail = true;
+            }
+            if fig16.speedup < 5.0 {
+                eprintln!(
+                    "FAIL: speedup {:.1}x below the 5x acceptance floor",
+                    fig16.speedup
+                );
+                fail = true;
+            }
+        }
+    }
+
+    if fail {
+        std::process::exit(1);
+    }
+}

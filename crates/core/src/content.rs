@@ -1,9 +1,9 @@
 //! §5.2 analyses: content federation and replication (Figs. 14–16).
 
 use crate::observatory::{Metric, Observatory};
-use fediscope_replication::eval::{
-    availability_curve, singleton_groups, AvailabilityPoint, Strategy,
-};
+use fediscope_graph::par;
+use fediscope_model::scale::ScaleTier;
+use fediscope_replication::eval::{AvailabilityPoint, AvailabilitySweep};
 use fediscope_stats::pearson;
 
 /// Fig. 14: home vs remote toots on federated timelines.
@@ -45,7 +45,8 @@ pub fn fig14_remote_ratio(obs: &Observatory) -> Fig14RemoteRatio {
     let view = obs.content_view();
     let mut replicated_out = vec![0f64; obs.world.instances.len()];
     for u in 0..view.n_users() {
-        let remote_holders = view.follower_instances[u]
+        let remote_holders = view
+            .follower_instances(u)
             .iter()
             .filter(|&&i| i != view.home[u])
             .count() as f64;
@@ -85,6 +86,10 @@ pub struct Fig15Replication {
 }
 
 /// Compute Fig. 15 with sweeps of `max_instances` and `max_ases` removals.
+///
+/// Each removal order runs through one batched [`AvailabilitySweep`] pass
+/// that yields the no-replication and subscription curves together; the
+/// two independent orders (instances / ASes) fan out on two threads.
 pub fn fig15_replication(
     obs: &Observatory,
     max_instances: usize,
@@ -93,27 +98,26 @@ pub fn fig15_replication(
     let view = obs.content_view();
     let mut inst_order = obs.instance_order(Metric::Toots);
     inst_order.truncate(max_instances);
-    let inst_groups = singleton_groups(&inst_order);
     let mut as_groups = obs.as_groups(Metric::Toots);
     as_groups.truncate(max_ases);
 
-    let none_by_instance = availability_curve(view, Strategy::NoReplication, &inst_groups);
-    let none_by_as = availability_curve(view, Strategy::NoReplication, &as_groups);
-    let sub_by_instance = availability_curve(view, Strategy::Subscription, &inst_groups);
-    let sub_by_as = availability_curve(view, Strategy::Subscription, &as_groups);
+    let (by_instance, by_as) = par::join(
+        || AvailabilitySweep::singletons(view, &inst_order).evaluate(&[]),
+        || AvailabilitySweep::grouped(view, &as_groups).evaluate(&[]),
+    );
 
     let loss_at = |curve: &[AvailabilityPoint], k: usize| {
         1.0 - curve[k.min(curve.len() - 1)].availability
     };
     Fig15Replication {
-        none_top10_instance_loss: loss_at(&none_by_instance, 10),
-        none_top10_as_loss: loss_at(&none_by_as, 10),
-        sub_top10_instance_loss: loss_at(&sub_by_instance, 10),
-        sub_top10_as_loss: loss_at(&sub_by_as, 10),
-        none_by_instance,
-        none_by_as,
-        sub_by_instance,
-        sub_by_as,
+        none_top10_instance_loss: loss_at(&by_instance.none, 10),
+        none_top10_as_loss: loss_at(&by_as.none, 10),
+        sub_top10_instance_loss: loss_at(&by_instance.subscription, 10),
+        sub_top10_as_loss: loss_at(&by_as.subscription, 10),
+        none_by_instance: by_instance.none,
+        none_by_as: by_as.none,
+        sub_by_instance: by_instance.subscription,
+        sub_by_as: by_as.subscription,
     }
 }
 
@@ -137,22 +141,36 @@ pub struct Fig16RandomReplication {
 pub const FIG16_NS: [usize; 6] = [1, 2, 3, 4, 7, 9];
 
 /// Compute Fig. 16 with a sweep of `max_instances` removals.
+///
+/// All eight curves (No-Rep, S-Rep, and every `Random{n}`) come out of a
+/// single batched [`AvailabilitySweep`] pass over the flat removal order —
+/// no per-strategy rescans, no singleton-group materialisation.
 pub fn fig16_random_replication(obs: &Observatory, max_instances: usize) -> Fig16RandomReplication {
     let view = obs.content_view();
     let mut order = obs.instance_order(Metric::Toots);
     order.truncate(max_instances);
-    let groups = singleton_groups(&order);
-    let random = FIG16_NS
-        .iter()
-        .map(|&n| (n, availability_curve(view, Strategy::Random { n }, &groups)))
-        .collect();
+    let batch = AvailabilitySweep::singletons(view, &order).evaluate(&FIG16_NS);
     Fig16RandomReplication {
-        random,
-        subscription: availability_curve(view, Strategy::Subscription, &groups),
-        none: availability_curve(view, Strategy::NoReplication, &groups),
+        random: batch.random,
+        subscription: batch.subscription,
+        none: batch.none,
         unreplicated_frac: view.unreplicated_toot_fraction(),
         over10_frac: view.over_replicated_fraction(10),
     }
+}
+
+/// Compute Fig. 15 at a named scale tier: sweep depths follow the tier
+/// tables, so per-tier results are comparable across worlds of that tier.
+pub fn fig15_replication_tier(obs: &Observatory, tier: ScaleTier) -> Fig15Replication {
+    fig15_replication(obs, tier.fig15_max_instances(), tier.fig15_max_ases())
+}
+
+/// Compute Fig. 16 at a named scale tier.
+pub fn fig16_random_replication_tier(
+    obs: &Observatory,
+    tier: ScaleTier,
+) -> Fig16RandomReplication {
+    fig16_random_replication(obs, tier.fig16_max_instances())
 }
 
 #[cfg(test)]
@@ -227,6 +245,26 @@ mod tests {
         // replication-skew facts
         assert!(f.unreplicated_frac > 0.0);
         assert!(f.over10_frac > 0.0);
+    }
+
+    #[test]
+    fn fig15_tier_entry_points_follow_tier_tables() {
+        // A tiny world exercises the plumbing; sweep depths clamp to the
+        // world where the tier tables exceed it.
+        let o = Observatory::new(Generator::generate_world(WorldConfig::tiny(5)));
+        let tier = ScaleTier::Paper2019;
+        let f15 = fig15_replication_tier(&o, tier);
+        assert_eq!(
+            f15.none_by_instance.len(),
+            o.world.instances.len().min(tier.fig15_max_instances()) + 1
+        );
+        assert!(f15.none_by_as.len() <= tier.fig15_max_ases() + 1);
+        let f16 = fig16_random_replication_tier(&o, tier);
+        assert_eq!(
+            f16.none.len(),
+            o.world.instances.len().min(tier.fig16_max_instances()) + 1
+        );
+        assert_eq!(f16.random.len(), FIG16_NS.len());
     }
 
     #[test]

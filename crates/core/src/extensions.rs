@@ -79,7 +79,7 @@ pub fn defederation_impact(obs: &Observatory, blocked: &[u32]) -> DefederationRe
         if !blocked_set.contains(&view.home[u]) {
             continue;
         }
-        for &inst in &view.follower_instances[u] {
+        for &inst in view.follower_instances(u) {
             if inst != view.home[u] && !blocked_set.contains(&inst) {
                 pairs.push((inst, u as u32));
             }

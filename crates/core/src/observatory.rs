@@ -98,7 +98,7 @@ impl Observatory {
             let view = self.content_view();
             let mut pairs: Vec<(u32, u32)> = Vec::new();
             for u in 0..view.n_users() {
-                for &inst in &view.follower_instances[u] {
+                for &inst in view.follower_instances(u) {
                     if inst != view.home[u] {
                         pairs.push((inst, u as u32));
                     }

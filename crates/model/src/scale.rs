@@ -106,6 +106,36 @@ impl ScaleTier {
             ScaleTier::Modern => 4,
         }
     }
+
+    /// Fig. 15 sweep depth (instances removed, ranked by toots): the
+    /// paper's x-axis reaches 30 at 2019 scale; deeper tiers scale the
+    /// depth with the instance population.
+    pub fn fig15_max_instances(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 30,
+            ScaleTier::Mid => 80,
+            ScaleTier::Modern => 200,
+        }
+    }
+
+    /// Fig. 15 AS-removal sweep depth.
+    pub fn fig15_max_ases(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 10,
+            ScaleTier::Mid => 15,
+            ScaleTier::Modern => 20,
+        }
+    }
+
+    /// Fig. 16 sweep depth (instances removed under random replication):
+    /// 25 in the paper, scaled up with the tier.
+    pub fn fig16_max_instances(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 25,
+            ScaleTier::Mid => 60,
+            ScaleTier::Modern => 150,
+        }
+    }
 }
 
 impl std::fmt::Display for ScaleTier {
@@ -149,6 +179,11 @@ mod tests {
             assert!(tier.fig13_max_instances() <= tier.n_instances());
             assert!(tier.fig13_max_ases() <= tier.n_providers());
             assert!(tier.baseline_trials() > 0);
+            assert!(tier.fig15_max_instances() > 0);
+            assert!(tier.fig15_max_instances() <= tier.n_instances());
+            assert!(tier.fig15_max_ases() <= tier.n_providers());
+            assert!(tier.fig16_max_instances() > 0);
+            assert!(tier.fig16_max_instances() <= tier.n_instances());
         }
     }
 

@@ -38,6 +38,17 @@ impl SizeBin {
         }
     }
 
+    /// Position in [`SizeBin::ALL`] (figure order) — a direct index, so
+    /// hot loops need no linear scan over the bin list.
+    pub fn index(self) -> usize {
+        match self {
+            SizeBin::Small => 0,
+            SizeBin::Medium => 1,
+            SizeBin::Large => 2,
+            SizeBin::Huge => 3,
+        }
+    }
+
     /// Figure label.
     pub fn label(self) -> &'static str {
         match self {
@@ -78,28 +89,56 @@ impl DailyDowntime {
 }
 
 /// Collect instance-day downtime samples. `day_stride` subsamples days
-/// (1 = every day) to bound memory at full scale.
+/// (1 = every day; kept for compatibility — the interval walk below is
+/// cheap enough that Fig. 8 no longer needs subsampling at full scale).
+///
+/// Per instance this walks the sorted outage list with a cursor instead of
+/// re-scanning it for every day (`AvailabilitySchedule::daily_downtime`
+/// starts from the first outage each call): `O(days + outages)` per
+/// instance rather than `O(days · outages)`.
 pub fn daily_downtime(
     instances: &[Instance],
     schedules: &[AvailabilitySchedule],
     day_stride: u32,
 ) -> DailyDowntime {
     assert!(day_stride >= 1);
-    let mut per_bin: Vec<(SizeBin, Vec<f64>)> =
-        SizeBin::ALL.iter().map(|&b| (b, Vec::new())).collect();
+    let mut bins: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
     let mut overall = Vec::new();
     for (inst, sched) in instances.iter().zip(schedules) {
-        let bin = SizeBin::of(inst.toot_count);
-        let slot = per_bin.iter_mut().find(|(b, _)| *b == bin).unwrap();
+        let samples = &mut bins[SizeBin::of(inst.toot_count).index()];
+        let birth = sched.birth_epoch().0;
+        let death = sched.death_epoch().0;
+        let outages = sched.outages();
+        let mut cursor = 0usize; // first outage that can still affect a day
         let mut d = 0;
         while d < WINDOW_DAYS {
-            if let Some(frac) = sched.daily_downtime(Day(d)) {
-                slot.1.push(frac);
+            let day = Day(d);
+            let lo = day.start_epoch().0.max(birth);
+            let hi = day.end_epoch().0.min(death);
+            if lo < hi {
+                // outages ending at or before this day's start are behind
+                // every remaining day (days advance monotonically)
+                while cursor < outages.len() && outages[cursor].end.0 <= lo {
+                    cursor += 1;
+                }
+                let mut down = 0u32;
+                let mut k = cursor;
+                while k < outages.len() && outages[k].start.0 < hi {
+                    down += outages[k].end.0.min(hi) - outages[k].start.0.max(lo);
+                    k += 1;
+                }
+                let frac = down as f64 / (hi - lo) as f64;
+                samples.push(frac);
                 overall.push(frac);
             }
             d += day_stride;
         }
     }
+    let mut bins = bins.into_iter();
+    let per_bin = SizeBin::ALL
+        .iter()
+        .map(|&b| (b, bins.next().unwrap()))
+        .collect();
     DailyDowntime { per_bin, overall }
 }
 
@@ -195,6 +234,60 @@ mod tests {
         let schedules = vec![AvailabilitySchedule::always_up()];
         let dd = daily_downtime(&instances, &schedules, 7);
         assert_eq!(dd.overall.len(), WINDOW_DAYS.div_ceil(7) as usize);
+    }
+
+    #[test]
+    fn interval_walk_matches_per_day_queries() {
+        // The cursor walk must reproduce the per-day query path exactly,
+        // across partial lifetimes, sub-day and multi-day outages.
+        let instances = vec![
+            mk_inst(0, 100),
+            mk_inst(1, 50_000),
+            mk_inst(2, 500_000),
+            mk_inst(3, 2_000_000),
+        ];
+        let mut s0 = AvailabilitySchedule::new(Day(3), Some(Day(200)));
+        s0.add_outage(Epoch(Day(5).start_epoch().0 + 7), Epoch(Day(5).start_epoch().0 + 19), OutageCause::Organic);
+        s0.add_outage(Day(40).start_epoch(), Day(43).start_epoch(), OutageCause::AsFailure);
+        let mut s1 = AvailabilitySchedule::always_up();
+        for k in 0..30u32 {
+            let start = k * 4000 + 13;
+            s1.add_outage(Epoch(start), Epoch(start + 301), OutageCause::Organic);
+        }
+        let mut s2 = AvailabilitySchedule::new(Day(100), None);
+        s2.add_outage(Epoch(0), Epoch(u32::MAX / 2), OutageCause::CertExpiry);
+        let s3 = AvailabilitySchedule::always_up();
+        let schedules = vec![s0, s1, s2, s3];
+
+        for stride in [1u32, 7, 30] {
+            let dd = daily_downtime(&instances, &schedules, stride);
+            // reference: the old per-day formulation
+            let mut expect_overall = Vec::new();
+            let mut expect_bins: Vec<Vec<f64>> = vec![Vec::new(); 4];
+            for (inst, sched) in instances.iter().zip(&schedules) {
+                let bin = SizeBin::of(inst.toot_count).index();
+                let mut d = 0;
+                while d < WINDOW_DAYS {
+                    if let Some(frac) = sched.daily_downtime(Day(d)) {
+                        expect_bins[bin].push(frac);
+                        expect_overall.push(frac);
+                    }
+                    d += stride;
+                }
+            }
+            assert_eq!(dd.overall, expect_overall, "stride {stride}");
+            for (i, (bin, samples)) in dd.per_bin.iter().enumerate() {
+                assert_eq!(*bin, SizeBin::ALL[i]);
+                assert_eq!(samples, &expect_bins[i], "stride {stride} bin {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn bin_index_matches_all_order() {
+        for (i, b) in SizeBin::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+        }
     }
 
     #[test]

@@ -4,6 +4,13 @@
 //! All of a user's toots share the same holder set under subscription
 //! replication (the follower instances), so the evaluators work per *user*
 //! weighted by toot count — exact, and ~100× smaller than per-toot state.
+//!
+//! The holder sets live in one flat CSR arena (offsets + data) instead of a
+//! `Vec<Vec<u32>>`: at the million-user tier the per-user `Vec` headers
+//! alone would cost 24 MB and every evaluator pass would chase a pointer
+//! per user. The CSR is built by counting sort over `world.follows` — two
+//! linear passes, no per-user allocation — then each user's slice is
+//! sorted and deduplicated in place.
 
 use fediscope_model::world::World;
 
@@ -16,9 +23,35 @@ pub struct ContentView {
     pub home: Vec<u32>,
     /// Toot count of each user.
     pub toots: Vec<u64>,
-    /// For each user: sorted, deduplicated instances hosting at least one
-    /// follower (may include the home instance; excludes nothing).
-    pub follower_instances: Vec<Vec<u32>>,
+    /// CSR offsets into [`Self::holder_data`]: user `u`'s holder slice is
+    /// `holder_data[holder_offsets[u]..holder_offsets[u + 1]]`.
+    holder_offsets: Vec<u32>,
+    /// CSR arena of holder instances, sorted + deduplicated per user.
+    holder_data: Vec<u32>,
+    /// CSR offsets into [`Self::home_users_data`]: instance `i`'s resident
+    /// users are `home_users_data[home_users_offsets[i]..home_users_offsets[i + 1]]`.
+    home_users_offsets: Vec<u32>,
+    /// CSR arena of users grouped by home instance (ascending user id per
+    /// instance). Lets evaluators visit only the users homed on a removed
+    /// instance instead of scanning the whole population.
+    home_users_data: Vec<u32>,
+    /// Resident arena bounds: instance `i`'s *tooting* residents occupy
+    /// rows `res_bounds[i]..res_bounds[i + 1]` of the arrays below.
+    ///
+    /// The resident arena is a home-major mirror of the holder CSR,
+    /// restricted to users with at least one toot (zero-toot users carry
+    /// no mass in any evaluator): walking one instance's residents reads
+    /// toot counts and holder slices *sequentially*, where the user-major
+    /// CSR costs two dependent cache misses per resident.
+    pub(crate) res_bounds: Vec<u32>,
+    /// Toot count per resident row (home-major order: by instance, then
+    /// ascending user id).
+    pub(crate) res_toots: Vec<u64>,
+    /// CSR offsets into [`Self::res_holder_data`] per resident row.
+    pub(crate) res_holder_offsets: Vec<u32>,
+    /// Holder slices per resident row (same contents as the user-major
+    /// arena, relaid in home-major order).
+    pub(crate) res_holder_data: Vec<u32>,
     /// Total toots.
     pub total_toots: u64,
 }
@@ -29,21 +62,109 @@ impl ContentView {
         let n_users = world.users.len();
         let home: Vec<u32> = world.users.iter().map(|u| u.instance.0).collect();
         let toots: Vec<u64> = world.users.iter().map(|u| u.toot_count as u64).collect();
-        let mut follower_instances: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+        assert!(
+            world.follows.len() < u32::MAX as usize,
+            "follow count overflows CSR offsets"
+        );
+
+        // Counting sort: follows grouped by followee. a follows b, so a's
+        // instance receives (holds) b's toots.
+        let mut holder_offsets = vec![0u32; n_users + 1];
+        for &(_, b) in &world.follows {
+            holder_offsets[b.index() + 1] += 1;
+        }
+        for u in 0..n_users {
+            holder_offsets[u + 1] += holder_offsets[u];
+        }
+        let mut holder_data = vec![0u32; world.follows.len()];
+        let mut cursor: Vec<u32> = holder_offsets[..n_users].to_vec();
         for &(a, b) in &world.follows {
-            // a follows b: a's instance receives b's toots
-            follower_instances[b.index()].push(home[a.index()]);
+            let c = &mut cursor[b.index()];
+            holder_data[*c as usize] = home[a.index()];
+            *c += 1;
         }
-        for list in &mut follower_instances {
-            list.sort_unstable();
-            list.dedup();
+
+        // Sort + dedup each slice in place, compacting the arena forward.
+        // The write cursor never passes a slice's start, so reads stay
+        // ahead of writes.
+        let mut write = 0u32;
+        for u in 0..n_users {
+            let (start, end) = (holder_offsets[u] as usize, holder_offsets[u + 1] as usize);
+            holder_data[start..end].sort_unstable();
+            holder_offsets[u] = write;
+            let mut prev = u32::MAX;
+            for r in start..end {
+                let v = holder_data[r];
+                if v != prev {
+                    holder_data[write as usize] = v;
+                    write += 1;
+                    prev = v;
+                }
+            }
         }
+        holder_offsets[n_users] = write;
+        holder_data.truncate(write as usize);
+        holder_data.shrink_to_fit();
+
+        // Second counting sort: users grouped by home instance.
+        let n_instances = world.instances.len();
+        assert!(n_users < u32::MAX as usize, "user count overflows CSR");
+        let mut home_users_offsets = vec![0u32; n_instances + 1];
+        for &h in &home {
+            home_users_offsets[h as usize + 1] += 1;
+        }
+        for i in 0..n_instances {
+            home_users_offsets[i + 1] += home_users_offsets[i];
+        }
+        let mut home_users_data = vec![0u32; n_users];
+        let mut cursor: Vec<u32> = home_users_offsets[..n_instances].to_vec();
+        for (u, &h) in home.iter().enumerate() {
+            let c = &mut cursor[h as usize];
+            home_users_data[*c as usize] = u as u32;
+            *c += 1;
+        }
+
+        // Resident arena: tooting users' toots + holder slices in
+        // home-major order (one sequential stream per instance segment).
+        let tooting = toots.iter().filter(|&&t| t > 0).count();
+        let mut res_bounds = Vec::with_capacity(n_instances + 1);
+        let mut res_toots = Vec::with_capacity(tooting);
+        let mut res_holder_offsets = Vec::with_capacity(tooting + 1);
+        let mut res_holder_data = Vec::new();
+        res_bounds.push(0u32);
+        res_holder_offsets.push(0u32);
+        for i in 0..n_instances {
+            let (ulo, uhi) = (
+                home_users_offsets[i] as usize,
+                home_users_offsets[i + 1] as usize,
+            );
+            for &u in &home_users_data[ulo..uhi] {
+                let u = u as usize;
+                if toots[u] == 0 {
+                    continue;
+                }
+                res_toots.push(toots[u]);
+                res_holder_data.extend_from_slice(
+                    &holder_data[holder_offsets[u] as usize..holder_offsets[u + 1] as usize],
+                );
+                res_holder_offsets.push(res_holder_data.len() as u32);
+            }
+            res_bounds.push(res_toots.len() as u32);
+        }
+
         let total_toots = toots.iter().sum();
         Self {
-            n_instances: world.instances.len(),
+            n_instances,
             home,
             toots,
-            follower_instances,
+            holder_offsets,
+            holder_data,
+            home_users_offsets,
+            home_users_data,
+            res_bounds,
+            res_toots,
+            res_holder_offsets,
+            res_holder_data,
             total_toots,
         }
     }
@@ -51,6 +172,25 @@ impl ContentView {
     /// Number of users.
     pub fn n_users(&self) -> usize {
         self.home.len()
+    }
+
+    /// Instances hosting at least one follower of user `u` (sorted,
+    /// deduplicated; may include the home instance).
+    #[inline]
+    pub fn follower_instances(&self, u: usize) -> &[u32] {
+        &self.holder_data[self.holder_offsets[u] as usize..self.holder_offsets[u + 1] as usize]
+    }
+
+    /// Total holder entries across all users (the CSR arena length).
+    pub fn holder_entries(&self) -> usize {
+        self.holder_data.len()
+    }
+
+    /// Users whose home is instance `i` (ascending user ids).
+    #[inline]
+    pub fn users_homed_on(&self, i: usize) -> &[u32] {
+        &self.home_users_data
+            [self.home_users_offsets[i] as usize..self.home_users_offsets[i + 1] as usize]
     }
 
     /// Fraction of toots whose author has **no** followers on any other
@@ -63,7 +203,8 @@ impl ContentView {
         }
         let mut unreplicated = 0u64;
         for u in 0..self.n_users() {
-            let has_remote_holder = self.follower_instances[u]
+            let has_remote_holder = self
+                .follower_instances(u)
                 .iter()
                 .any(|&i| i != self.home[u]);
             if !has_remote_holder {
@@ -82,7 +223,8 @@ impl ContentView {
         }
         let mut over = 0u64;
         for u in 0..self.n_users() {
-            let replicas = self.follower_instances[u]
+            let replicas = self
+                .follower_instances(u)
                 .iter()
                 .filter(|&&i| i != self.home[u])
                 .count();
@@ -99,6 +241,19 @@ mod tests {
     use super::*;
     use fediscope_worldgen::{Generator, WorldConfig};
 
+    /// The pre-CSR reference build: per-user `Vec`s, sorted + deduped.
+    fn naive_holder_lists(w: &World) -> Vec<Vec<u32>> {
+        let mut lists: Vec<Vec<u32>> = vec![Vec::new(); w.users.len()];
+        for &(a, b) in &w.follows {
+            lists[b.index()].push(w.users[a.index()].instance.0);
+        }
+        for list in &mut lists {
+            list.sort_unstable();
+            list.dedup();
+        }
+        lists
+    }
+
     #[test]
     fn from_world_consistency() {
         let w = Generator::generate_world(WorldConfig::tiny(31));
@@ -108,11 +263,72 @@ mod tests {
         // spot-check a follower-instance set
         let (a, b) = w.follows[0];
         let fa = w.users[a.index()].instance.0;
-        assert!(v.follower_instances[b.index()].contains(&fa));
+        assert!(v.follower_instances(b.index()).contains(&fa));
         // sorted + dedup
-        for list in &v.follower_instances {
+        for u in 0..v.n_users() {
+            let list = v.follower_instances(u);
             assert!(list.windows(2).all(|w| w[0] < w[1]));
         }
+    }
+
+    #[test]
+    fn csr_matches_naive_lists() {
+        for seed in [7u64, 31, 98] {
+            let w = Generator::generate_world(WorldConfig::tiny(seed));
+            let v = ContentView::from_world(&w);
+            let reference = naive_holder_lists(&w);
+            for (u, list) in reference.iter().enumerate() {
+                assert_eq!(v.follower_instances(u), &list[..], "user {u}");
+            }
+            assert_eq!(
+                v.holder_entries(),
+                reference.iter().map(Vec::len).sum::<usize>()
+            );
+        }
+    }
+
+    #[test]
+    fn home_csr_partitions_users() {
+        let w = Generator::generate_world(WorldConfig::tiny(34));
+        let v = ContentView::from_world(&w);
+        let mut seen = vec![false; v.n_users()];
+        for i in 0..v.n_instances {
+            let users = v.users_homed_on(i);
+            assert!(users.windows(2).all(|w| w[0] < w[1]), "sorted per instance");
+            for &u in users {
+                assert_eq!(v.home[u as usize], i as u32);
+                assert!(!seen[u as usize], "user listed twice");
+                seen[u as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every user listed exactly once");
+    }
+
+    #[test]
+    fn resident_arena_mirrors_user_major_csr() {
+        let w = Generator::generate_world(WorldConfig::tiny(35));
+        let v = ContentView::from_world(&w);
+        let mut rows = 0usize;
+        for i in 0..v.n_instances {
+            let (lo, hi) = (v.res_bounds[i] as usize, v.res_bounds[i + 1] as usize);
+            let tooting: Vec<u32> = v
+                .users_homed_on(i)
+                .iter()
+                .copied()
+                .filter(|&u| v.toots[u as usize] > 0)
+                .collect();
+            assert_eq!(hi - lo, tooting.len(), "instance {i} row count");
+            for (row, &u) in (lo..hi).zip(&tooting) {
+                assert_eq!(v.res_toots[row], v.toots[u as usize]);
+                let slice = &v.res_holder_data[v.res_holder_offsets[row] as usize
+                    ..v.res_holder_offsets[row + 1] as usize];
+                assert_eq!(slice, v.follower_instances(u as usize));
+            }
+            rows = hi;
+        }
+        assert_eq!(rows, v.res_toots.len());
+        // total resident mass equals total toots (zero-toot users add none)
+        assert_eq!(v.res_toots.iter().sum::<u64>(), v.total_toots);
     }
 
     #[test]
@@ -143,8 +359,8 @@ mod tests {
         w.users[2].toot_count = 30;
         w.follows = vec![(UserId(1), UserId(0))];
         let v = ContentView::from_world(&w);
-        assert_eq!(v.follower_instances[0], vec![1]);
-        assert!(v.follower_instances[2].is_empty());
+        assert_eq!(v.follower_instances(0), &[1]);
+        assert!(v.follower_instances(2).is_empty());
         // 30 of 40 toots unreplicated
         assert!((v.unreplicated_toot_fraction() - 0.75).abs() < 1e-9);
     }

@@ -7,8 +7,22 @@
 //! Removal is modelled as a fixed sequence of instances (or groups of
 //! instances = ASes); after each prefix, availability is the fraction of
 //! all toots with a surviving holder.
+//!
+//! Two engines cover the same semantics:
+//!
+//! - [`availability_curve`] is the naive per-strategy reference: one full
+//!   pass over every user (and every holder entry) *per strategy*.
+//! - [`AvailabilitySweep`] is the batched engine: the removal schedule is
+//!   compiled once into a [`RemovalPlan`], then **one** sharded scan over
+//!   the users folds each user's death step into per-strategy death
+//!   histograms — no-replication, subscription, and every requested
+//!   `Random{n}` come out of the same pass. All histogram mass is integral
+//!   toot counts accumulated in `u64`, so shard merging is exact and the
+//!   output is bit-identical to the reference no matter how many threads
+//!   or shards run (differential proptests below pin this).
 
 use crate::content::ContentView;
+use fediscope_graph::par;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -51,12 +65,399 @@ fn removal_steps(n_instances: usize, groups: &[Vec<u32>]) -> Vec<usize> {
     step
 }
 
+/// A removal schedule compiled for repeated evaluation: the per-instance
+/// death step plus the cumulative removed-instance count after each step.
+///
+/// Built from either a flat instance order ([`RemovalPlan::from_order`] —
+/// no per-element allocation, unlike materialising singleton groups) or a
+/// grouped order ([`RemovalPlan::from_groups`], one group per step, as in
+/// AS-failure sweeps).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RemovalPlan {
+    /// 1-based step at which each instance dies; `u32::MAX` = never. `u32`
+    /// keeps the table half the size of the reference evaluator's — at the
+    /// `modern` tier it stays cache-resident under the holder walk's
+    /// random access pattern.
+    steps: Vec<u32>,
+    /// `removed_prefix[k]`: instances removed after step `k` (duplicated
+    /// members count once per listing, mirroring the reference evaluator).
+    removed_prefix: Vec<usize>,
+}
+
+/// Sentinel step for instances that are never removed.
+const NEVER: u32 = u32::MAX;
+
+impl RemovalPlan {
+    /// Compile a flat order: element `g` is removed (alone) at step `g + 1`.
+    pub fn from_order(n_instances: usize, order: &[u32]) -> Self {
+        assert!(order.len() < NEVER as usize, "order too long for u32 steps");
+        let mut steps = vec![NEVER; n_instances];
+        for (g, &m) in order.iter().enumerate() {
+            if steps[m as usize] == NEVER {
+                steps[m as usize] = g as u32 + 1;
+            }
+        }
+        RemovalPlan {
+            steps,
+            removed_prefix: (0..=order.len()).collect(),
+        }
+    }
+
+    /// Compile a grouped order: group `g`'s members are all removed at step
+    /// `g + 1` (first listing wins for instances appearing twice).
+    pub fn from_groups(n_instances: usize, groups: &[Vec<u32>]) -> Self {
+        assert!(groups.len() < NEVER as usize, "too many groups for u32 steps");
+        let mut steps = vec![NEVER; n_instances];
+        for (g, members) in groups.iter().enumerate() {
+            for &m in members {
+                if steps[m as usize] == NEVER {
+                    steps[m as usize] = g as u32 + 1;
+                }
+            }
+        }
+        let mut removed_prefix = Vec::with_capacity(groups.len() + 1);
+        let mut acc = 0usize;
+        removed_prefix.push(0);
+        for g in groups {
+            acc += g.len();
+            removed_prefix.push(acc);
+        }
+        RemovalPlan {
+            steps,
+            removed_prefix,
+        }
+    }
+
+    /// Number of removal steps.
+    pub fn n_steps(&self) -> usize {
+        self.removed_prefix.len() - 1
+    }
+}
+
+/// All curves produced by one [`AvailabilitySweep::evaluate`] pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AvailabilityBatch {
+    /// [`Strategy::NoReplication`] curve.
+    pub none: Vec<AvailabilityPoint>,
+    /// [`Strategy::Subscription`] curve.
+    pub subscription: Vec<AvailabilityPoint>,
+    /// `(n, curve)` for each requested [`Strategy::Random`] replica count.
+    pub random: Vec<(usize, Vec<AvailabilityPoint>)>,
+}
+
+/// Users per shard for the batched scan and the Monte-Carlo evaluator.
+/// Fixed (not thread-count-derived) so the shard layout never varies; the
+/// merged histograms are exact integer sums either way, so this constant
+/// only affects scheduling, never output.
+const EVAL_CHUNK_USERS: usize = 65_536;
+
+/// The batched availability engine: one compiled [`RemovalPlan`] evaluated
+/// for every strategy in a single sharded pass over the users.
+pub struct AvailabilitySweep<'v> {
+    view: &'v ContentView,
+    plan: RemovalPlan,
+}
+
+impl<'v> AvailabilitySweep<'v> {
+    /// Sweep a flat instance order (one instance per step, zero per-step
+    /// allocation).
+    pub fn singletons(view: &'v ContentView, order: &[u32]) -> Self {
+        Self::with_plan(view, RemovalPlan::from_order(view.n_instances, order))
+    }
+
+    /// Sweep a grouped order (one group — e.g. one AS — per step).
+    pub fn grouped(view: &'v ContentView, groups: &[Vec<u32>]) -> Self {
+        Self::with_plan(view, RemovalPlan::from_groups(view.n_instances, groups))
+    }
+
+    /// Sweep a pre-compiled plan.
+    pub fn with_plan(view: &'v ContentView, plan: RemovalPlan) -> Self {
+        assert_eq!(
+            plan.steps.len(),
+            view.n_instances,
+            "plan compiled for a different instance count"
+        );
+        AvailabilitySweep { view, plan }
+    }
+
+    /// The compiled plan.
+    pub fn plan(&self) -> &RemovalPlan {
+        &self.plan
+    }
+
+    /// Evaluate every strategy in one pass: the no-replication and
+    /// subscription curves plus one exact-expectation curve per entry of
+    /// `random_ns`.
+    ///
+    /// One scan folds each user's home death step (no-replication *and* the
+    /// shared input of every random curve) and subscription death step
+    /// (max over the CSR holder slice, short-circuited on the first
+    /// surviving holder) into two `u64` histograms; the scan is sharded
+    /// over users via [`par::parallel_map`] and merged with exact integer
+    /// adds, so output is independent of thread and shard count.
+    pub fn evaluate(&self, random_ns: &[usize]) -> AvailabilityBatch {
+        let n_steps = self.plan.n_steps();
+        let (home_death, sub_death) = self.death_histograms();
+        let total = self.view.total_toots.max(1) as f64;
+
+        let to_f64 = |h: &[u64]| h.iter().map(|&v| v as f64).collect::<Vec<f64>>();
+        let none = fold_availability(&to_f64(&home_death), n_steps, total);
+        let subscription = fold_availability(&to_f64(&sub_death), n_steps, total);
+        let random = random_ns
+            .iter()
+            .map(|&n| (n, self.random_curve_from_home_deaths(&home_death, n)))
+            .collect();
+        AvailabilityBatch {
+            none,
+            subscription,
+            random,
+        }
+    }
+
+    /// The sharded scan: returns `(home_death, sub_death)` histograms of
+    /// toot mass indexed by death step.
+    ///
+    /// The scan is *inverted*: only users homed on a **removed** instance
+    /// can lose their toots under either strategy, so it walks the
+    /// [`ContentView::users_homed_on`] CSR slices of the removed instances
+    /// instead of the whole population — sublinear in users whenever the
+    /// removal order is a prefix of the network. Histograms are `u64`
+    /// (toot counts are integral), so shard merging is exact and the
+    /// result is independent of shard layout and thread count.
+    fn death_histograms(&self) -> (Vec<u64>, Vec<u64>) {
+        let view = self.view;
+        let steps = &self.plan.steps[..];
+        let n_steps = self.plan.n_steps();
+        let removed: Vec<u32> = (0..view.n_instances as u32)
+            .filter(|&i| steps[i as usize] != NEVER)
+            .collect();
+        let shards = instance_shards(view, &removed);
+        let partials = par::parallel_map(&shards, |&(lo, hi)| {
+            let mut home_death = vec![0u64; n_steps + 2];
+            let mut sub_death = vec![0u64; n_steps + 2];
+            for &inst in &removed[lo..hi] {
+                let home_step = steps[inst as usize];
+                // Walk the instance's resident-arena segment: toot counts
+                // and holder slices stream sequentially (home-major
+                // layout), and zero-toot users are already excluded.
+                let (rlo, rhi) = (
+                    view.res_bounds[inst as usize] as usize,
+                    view.res_bounds[inst as usize + 1] as usize,
+                );
+                // Every resident loses its home at the same step — fold
+                // the mass locally, one histogram add per segment.
+                let mut seg_toots = 0u64;
+                for row in rlo..rhi {
+                    let toots = view.res_toots[row];
+                    seg_toots += toots;
+                    // Subscription death = max step over home + holders;
+                    // any surviving holder (step NEVER) keeps the toot, so
+                    // the scan stops at the first one.
+                    let mut death = home_step;
+                    let mut all_gone = true;
+                    for &f in &view.res_holder_data[view.res_holder_offsets[row] as usize
+                        ..view.res_holder_offsets[row + 1] as usize]
+                    {
+                        let s = steps[f as usize];
+                        if s == NEVER {
+                            all_gone = false;
+                            break;
+                        }
+                        death = death.max(s);
+                    }
+                    if all_gone {
+                        sub_death[death as usize] += toots;
+                    }
+                }
+                home_death[home_step as usize] += seg_toots;
+            }
+            (home_death, sub_death)
+        });
+        let mut home_death = vec![0u64; n_steps + 2];
+        let mut sub_death = vec![0u64; n_steps + 2];
+        for (h, s) in partials {
+            for (acc, v) in home_death.iter_mut().zip(&h) {
+                *acc += v;
+            }
+            for (acc, v) in sub_death.iter_mut().zip(&s) {
+                *acc += v;
+            }
+        }
+        (home_death, sub_death)
+    }
+
+    /// Exact random-replication expectation from the shared home-death
+    /// histogram — term-for-term the same float sequence as the reference
+    /// evaluator, so the curves match bit-for-bit.
+    fn random_curve_from_home_deaths(
+        &self,
+        home_death: &[u64],
+        n: usize,
+    ) -> Vec<AvailabilityPoint> {
+        let n_steps = self.plan.n_steps();
+        let total = self.view.total_toots.max(1) as f64;
+        let i_total = self.view.n_instances;
+        let mut homeless = 0u64;
+        let mut out = Vec::with_capacity(n_steps + 1);
+        out.push(AvailabilityPoint {
+            removed: 0,
+            availability: 1.0,
+        });
+        for (k, &dead) in home_death.iter().enumerate().take(n_steps + 1).skip(1) {
+            let removed_count = self.plan.removed_prefix[k];
+            homeless += dead;
+            let mut p_all_gone = 1.0f64;
+            for i in 0..n {
+                let num = removed_count.saturating_sub(i) as f64;
+                let den = (i_total - i).max(1) as f64;
+                p_all_gone *= (num / den).clamp(0.0, 1.0);
+            }
+            let expected_lost = homeless as f64 * p_all_gone;
+            out.push(AvailabilityPoint {
+                removed: k,
+                availability: 1.0 - expected_lost / total,
+            });
+        }
+        out
+    }
+
+    /// Monte-Carlo evaluation of random replication with explicit per-toot
+    /// placements — see [`random_monte_carlo_curve`] for semantics. Runs
+    /// sharded with the default chunk size.
+    pub fn monte_carlo(&self, n: usize, toot_cap: u32, seed: u64) -> Vec<AvailabilityPoint> {
+        self.monte_carlo_chunked(n, toot_cap, seed, EVAL_CHUNK_USERS)
+    }
+
+    /// [`Self::monte_carlo`] with an explicit shard size (users per shard).
+    ///
+    /// Output is **independent of `chunk_users`**: each user draws from its
+    /// own counter-derived RNG stream and contributes integral toot mass to
+    /// a `u64` histogram, so shard merging is exact in any order. Exposed
+    /// so tests can pin 1-shard ≡ N-shard equality.
+    pub fn monte_carlo_chunked(
+        &self,
+        n: usize,
+        toot_cap: u32,
+        seed: u64,
+        chunk_users: usize,
+    ) -> Vec<AvailabilityPoint> {
+        assert!(chunk_users > 0, "chunk_users must be positive");
+        assert!(toot_cap > 0, "toot_cap must be positive");
+        let view = self.view;
+        let steps = &self.plan.steps[..];
+        let n_steps = self.plan.n_steps();
+        let n_inst = view.n_instances;
+        let target = n.min(n_inst);
+
+        let mut shards = Vec::new();
+        let mut lo = 0usize;
+        while lo < view.n_users() {
+            let hi = lo.saturating_add(chunk_users).min(view.n_users());
+            shards.push((lo, hi));
+            lo = hi;
+        }
+
+        let partials = par::parallel_map(&shards, |&(lo, hi)| {
+            let mut death = vec![0u64; n_steps + 2];
+            // Stamped scratch: `stamp[i] == epoch` marks instance i as
+            // already picked for the current sample — O(1) distinctness
+            // instead of a linear `contains` over a per-sample Vec.
+            let mut stamp = vec![0u64; n_inst];
+            let mut epoch = 0u64;
+            for u in lo..hi {
+                let toots = view.toots[u];
+                if toots == 0 {
+                    continue;
+                }
+                let home_step = steps[view.home[u] as usize] as usize;
+                if home_step > n_steps {
+                    continue; // home survives: toot always available
+                }
+                // Counter-derived per-user stream: placement draws do not
+                // depend on which shard (or thread) processes the user.
+                let mut rng = user_stream_rng(seed, u);
+                let samples = toots.min(toot_cap as u64);
+                // Integral weights: sample j stands for base (+1 for the
+                // first `rem` samples) real toots, so histogram mass stays
+                // integer-exact under any accumulation order.
+                let base = toots / samples;
+                let rem = toots % samples;
+                for j in 0..samples {
+                    epoch += 1;
+                    let mut dead_step = home_step;
+                    let mut picked = 0usize;
+                    while picked < target {
+                        let cand = rng.gen_range(0..n_inst as u32) as usize;
+                        if stamp[cand] != epoch {
+                            stamp[cand] = epoch;
+                            picked += 1;
+                            let s = steps[cand] as usize;
+                            if s > dead_step {
+                                dead_step = s;
+                            }
+                        }
+                    }
+                    if dead_step <= n_steps {
+                        death[dead_step] += base + u64::from(j < rem);
+                    }
+                }
+            }
+            death
+        });
+        let mut death = vec![0u64; n_steps + 2];
+        for h in partials {
+            for (acc, v) in death.iter_mut().zip(&h) {
+                *acc += v;
+            }
+        }
+        let total = view.total_toots.max(1) as f64;
+        let death_f: Vec<f64> = death.iter().map(|&v| v as f64).collect();
+        fold_availability(&death_f, n_steps, total)
+    }
+}
+
+/// Shard ranges over a removed-instance list, split at instance
+/// boundaries so each shard covers roughly [`EVAL_CHUNK_USERS`] resident
+/// rows. Layout depends only on the view and the list — never on the
+/// thread count (and the merged histograms are exact integer sums, so the
+/// layout could not change output even if it did).
+fn instance_shards(view: &ContentView, removed: &[u32]) -> Vec<(usize, usize)> {
+    let mut shards = Vec::new();
+    let mut lo = 0usize;
+    let mut rows = 0usize;
+    for (k, &inst) in removed.iter().enumerate() {
+        let i = inst as usize;
+        rows += (view.res_bounds[i + 1] - view.res_bounds[i]) as usize;
+        if rows >= EVAL_CHUNK_USERS {
+            shards.push((lo, k + 1));
+            lo = k + 1;
+            rows = 0;
+        }
+    }
+    if lo < removed.len() {
+        shards.push((lo, removed.len()));
+    }
+    shards
+}
+
+/// The RNG stream for user `u`: a golden-ratio counter mix feeding the
+/// SplitMix64 expansion inside `seed_from_u64`, so streams are
+/// decorrelated and depend only on `(seed, u)` — never on scheduling.
+fn user_stream_rng(seed: u64, u: usize) -> StdRng {
+    StdRng::seed_from_u64(seed ^ (u as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
+}
+
 /// Exact availability curve for [`Strategy::NoReplication`] and
 /// [`Strategy::Subscription`], and the exact *expectation* for
 /// [`Strategy::Random`] (over the per-toot placement randomness).
 ///
 /// `groups`: removal sequence; element `g` lists the instances removed at
 /// step `g + 1`. Returns one point per step, including a step-0 baseline.
+///
+/// This is the naive reference engine — one full pass per strategy. The
+/// batched [`AvailabilitySweep`] produces bit-identical curves for every
+/// strategy in a single pass; this path is kept as the differential
+/// baseline.
 pub fn availability_curve(
     view: &ContentView,
     strategy: Strategy,
@@ -105,7 +506,7 @@ fn exact_curve(
             Strategy::NoReplication => home_step,
             Strategy::Subscription => {
                 let mut death = home_step;
-                for &f in &view.follower_instances[u] {
+                for &f in view.follower_instances(u) {
                     death = death.max(steps[f as usize]);
                 }
                 death
@@ -169,8 +570,14 @@ fn random_expectation_curve(
 /// Monte-Carlo evaluation of random replication with explicit per-toot
 /// placements (exercises the real code path; used to validate the
 /// expectation and by the DHT-backed write-path demo). `toot_cap` bounds
-/// the sampled toots per user (remaining toots reuse sampled placements in
-/// proportion — a documented approximation).
+/// the sampled toots per user; the remaining toots ride the sampled
+/// placements with integral weights (`⌈toots/samples⌉` on the first
+/// `toots % samples` draws, `⌊toots/samples⌋` after — a documented
+/// approximation that keeps the histogram integer-exact).
+///
+/// Each user draws from its own counter-derived RNG stream, so the
+/// evaluation shards over users with seed-stable, shard-count-independent
+/// output (see [`AvailabilitySweep::monte_carlo_chunked`]).
 pub fn random_monte_carlo_curve(
     view: &ContentView,
     n: usize,
@@ -178,43 +585,12 @@ pub fn random_monte_carlo_curve(
     toot_cap: u32,
     seed: u64,
 ) -> Vec<AvailabilityPoint> {
-    let steps = removal_steps(view.n_instances, groups);
-    let mut rng = StdRng::seed_from_u64(seed);
-    // death_weight[k] accumulates toot weight dying exactly at step k
-    let mut death_toots = vec![0f64; groups.len() + 2];
-    for u in 0..view.n_users() {
-        if view.toots[u] == 0 {
-            continue;
-        }
-        let home_step = steps[view.home[u] as usize];
-        if home_step == usize::MAX || home_step > groups.len() {
-            continue; // home survives: toot always available
-        }
-        let samples = view.toots[u].min(toot_cap as u64) as u32;
-        let weight_per_sample = view.toots[u] as f64 / samples as f64;
-        for _ in 0..samples {
-            // sample n distinct replica instances
-            let mut replicas: Vec<u32> = Vec::with_capacity(n);
-            while replicas.len() < n.min(view.n_instances) {
-                let cand = rng.gen_range(0..view.n_instances as u32);
-                if !replicas.contains(&cand) {
-                    replicas.push(cand);
-                }
-            }
-            let mut death = home_step;
-            for &r in &replicas {
-                death = death.max(steps[r as usize]);
-            }
-            if death != usize::MAX && death <= groups.len() {
-                death_toots[death] += weight_per_sample;
-            }
-        }
-    }
-    let total = view.total_toots.max(1) as f64;
-    fold_availability(&death_toots, groups.len(), total)
+    AvailabilitySweep::grouped(view, groups).monte_carlo(n, toot_cap, seed)
 }
 
-/// Convenience: turn a flat instance order into single-member groups.
+/// Convenience: turn a flat instance order into single-member groups (the
+/// naive engine's input shape; [`AvailabilitySweep::singletons`] consumes
+/// the flat order directly, without this allocation).
 pub fn singleton_groups(order: &[u32]) -> Vec<Vec<u32>> {
     order.iter().map(|&i| vec![i]).collect()
 }
@@ -373,6 +749,198 @@ mod tests {
         assert_eq!(curve.len(), 3);
         for w in curve.windows(2) {
             assert!(w[1].availability <= w[0].availability + 1e-12);
+        }
+    }
+
+    #[test]
+    fn batched_sweep_matches_naive_on_flat_order() {
+        let v = view();
+        let order = toot_order(&v);
+        let groups = singleton_groups(&order[..20]);
+        let ns = [1usize, 2, 3, 4, 7, 9];
+        let batch = AvailabilitySweep::singletons(&v, &order[..20]).evaluate(&ns);
+        assert_eq!(
+            batch.none,
+            availability_curve(&v, Strategy::NoReplication, &groups)
+        );
+        assert_eq!(
+            batch.subscription,
+            availability_curve(&v, Strategy::Subscription, &groups)
+        );
+        for (n, curve) in &batch.random {
+            assert_eq!(
+                curve,
+                &availability_curve(&v, Strategy::Random { n: *n }, &groups),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn batched_sweep_matches_naive_on_groups() {
+        let v = view();
+        let order = toot_order(&v);
+        let groups = vec![
+            order[..5].to_vec(),
+            order[5..7].to_vec(),
+            order[7..16].to_vec(),
+        ];
+        let batch = AvailabilitySweep::grouped(&v, &groups).evaluate(&[2, 5]);
+        assert_eq!(
+            batch.none,
+            availability_curve(&v, Strategy::NoReplication, &groups)
+        );
+        assert_eq!(
+            batch.subscription,
+            availability_curve(&v, Strategy::Subscription, &groups)
+        );
+        for (n, curve) in &batch.random {
+            assert_eq!(
+                curve,
+                &availability_curve(&v, Strategy::Random { n: *n }, &groups)
+            );
+        }
+    }
+
+    #[test]
+    fn plan_from_order_equals_singleton_groups_plan() {
+        let v = view();
+        let order = toot_order(&v);
+        // include a duplicate to pin first-wins semantics
+        let mut order = order[..12].to_vec();
+        order.push(order[0]);
+        let from_order = RemovalPlan::from_order(v.n_instances, &order);
+        let from_groups = RemovalPlan::from_groups(v.n_instances, &singleton_groups(&order));
+        assert_eq!(from_order, from_groups);
+        assert_eq!(from_order.n_steps(), 13);
+    }
+
+    #[test]
+    fn monte_carlo_shard_count_invariant() {
+        let v = view();
+        let order = toot_order(&v);
+        let sweep = AvailabilitySweep::singletons(&v, &order[..12]);
+        let one = sweep.monte_carlo_chunked(2, 16, 77, usize::MAX);
+        let many = sweep.monte_carlo_chunked(2, 16, 77, 37);
+        let tiny = sweep.monte_carlo_chunked(2, 16, 77, 1);
+        assert_eq!(one, many);
+        assert_eq!(one, tiny);
+    }
+
+    #[test]
+    fn monte_carlo_integral_weights_cover_all_toots() {
+        // Removing every instance must lose exactly the total mass: the
+        // integral per-sample weights must sum to each user's toot count.
+        let v = view();
+        let all: Vec<u32> = (0..v.n_instances as u32).collect();
+        let sweep = AvailabilitySweep::singletons(&v, &all);
+        let curve = sweep.monte_carlo(3, 7, 5);
+        assert!(
+            curve.last().unwrap().availability.abs() < 1e-9,
+            "all mass must be lost: {}",
+            curve.last().unwrap().availability
+        );
+    }
+
+    #[test]
+    fn empty_order_is_baseline_only() {
+        let v = view();
+        let batch = AvailabilitySweep::singletons(&v, &[]).evaluate(&[3]);
+        assert_eq!(batch.none.len(), 1);
+        assert_eq!(batch.none[0].availability, 1.0);
+        assert_eq!(batch.subscription.len(), 1);
+        assert_eq!(batch.random[0].1.len(), 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    // the proptest prelude also exports a `Strategy` trait; the explicit
+    // import keeps the replication enum in scope
+    use super::Strategy;
+    use fediscope_worldgen::{Generator, WorldConfig};
+    use proptest::prelude::*;
+
+    /// Random worlds × random (possibly duplicated) removal orders ×
+    /// grouped/singleton shapes: the batched sweep must be bit-identical
+    /// to the naive per-strategy reference for every strategy at once.
+    fn tiny_view(seed: u64) -> ContentView {
+        let mut cfg = WorldConfig::tiny(seed);
+        cfg.n_instances = 24;
+        cfg.n_users = 300;
+        ContentView::from_world(&Generator::generate_world(cfg))
+    }
+
+    /// Chop `order` into groups at the given (sorted, deduped) cut points.
+    fn chop(order: &[u32], cuts: &[usize]) -> Vec<Vec<u32>> {
+        let mut groups = Vec::new();
+        let mut lo = 0usize;
+        for &c in cuts {
+            let hi = c.min(order.len());
+            if hi > lo {
+                groups.push(order[lo..hi].to_vec());
+            }
+            lo = hi.max(lo);
+        }
+        if lo < order.len() {
+            groups.push(order[lo..].to_vec());
+        }
+        groups
+    }
+
+    proptest! {
+        #[test]
+        fn batched_bit_identical_to_naive(
+            seed in 0u64..1000,
+            order in proptest::collection::vec(0u32..24, 0..40),
+            mut cuts in proptest::collection::vec(0usize..40, 0..6),
+            grouped in any::<bool>(),
+        ) {
+            let v = tiny_view(seed);
+            let groups = if grouped {
+                cuts.sort_unstable();
+                cuts.dedup();
+                chop(&order, &cuts)
+            } else {
+                singleton_groups(&order)
+            };
+            let sweep = if grouped {
+                AvailabilitySweep::grouped(&v, &groups)
+            } else {
+                AvailabilitySweep::singletons(&v, &order)
+            };
+            let ns = [1usize, 3, 9];
+            let batch = sweep.evaluate(&ns);
+            prop_assert_eq!(
+                &batch.none,
+                &availability_curve(&v, Strategy::NoReplication, &groups)
+            );
+            prop_assert_eq!(
+                &batch.subscription,
+                &availability_curve(&v, Strategy::Subscription, &groups)
+            );
+            for (n, curve) in &batch.random {
+                prop_assert_eq!(
+                    curve,
+                    &availability_curve(&v, Strategy::Random { n: *n }, &groups)
+                );
+            }
+        }
+
+        #[test]
+        fn monte_carlo_shard_invariance(
+            seed in 0u64..1000,
+            mc_seed in any::<u64>(),
+            k in 1usize..20,
+            chunk in 1usize..64,
+        ) {
+            let v = tiny_view(seed);
+            let order: Vec<u32> = (0..k as u32).collect();
+            let sweep = AvailabilitySweep::singletons(&v, &order);
+            let sharded = sweep.monte_carlo_chunked(2, 8, mc_seed, chunk);
+            let serial = sweep.monte_carlo_chunked(2, 8, mc_seed, usize::MAX);
+            prop_assert_eq!(sharded, serial);
         }
     }
 }

@@ -18,6 +18,14 @@
 //! variant ([`weighted`]) explores the paper's closing remark that
 //! "it would be important to weight replication based on the resources
 //! available at the instance".
+//!
+//! Evaluation has two engines: the naive per-strategy reference
+//! ([`eval::availability_curve`]) and the batched
+//! [`AvailabilitySweep`], which compiles the removal schedule once
+//! ([`eval::RemovalPlan`]) and folds **every** strategy's curve out of one
+//! sharded pass over the [`ContentView`]'s flat CSR holder arena —
+//! bit-identical output, several times faster on multi-strategy workloads
+//! (see `README.md` and `BENCH_avail.json`).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -29,4 +37,4 @@ pub mod weighted;
 
 pub use content::ContentView;
 pub use dht::HashRing;
-pub use eval::{AvailabilityPoint, Strategy};
+pub use eval::{AvailabilityBatch, AvailabilityPoint, AvailabilitySweep, RemovalPlan, Strategy};

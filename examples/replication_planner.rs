@@ -9,7 +9,7 @@
 
 use fediscope::core::{Metric, Observatory};
 use fediscope::prelude::*;
-use fediscope::replication::eval::{availability_curve, singleton_groups, Strategy};
+use fediscope::replication::eval::{singleton_groups, AvailabilitySweep};
 use fediscope::replication::weighted::weighted_random_curve;
 use fediscope::replication::HashRing;
 
@@ -21,26 +21,26 @@ fn main() {
     // Threat model: the 20 most content-heavy instances fail one by one.
     let mut order = obs.instance_order(Metric::Toots);
     order.truncate(20);
-    let groups = singleton_groups(&order);
 
     println!("toot availability after the top-20 instances fail:\n");
     let report = |label: &str, availability: f64| {
         println!("  {label:<28} {:>6.2}%", availability * 100.0);
     };
 
-    let none = availability_curve(view, Strategy::NoReplication, &groups);
-    report("no replication", none.last().unwrap().availability);
-
-    let sub = availability_curve(view, Strategy::Subscription, &groups);
-    report("subscription (Mastodon-ish)", sub.last().unwrap().availability);
-
-    for n in [1usize, 2, 4] {
-        let r = availability_curve(view, Strategy::Random { n }, &groups);
+    // One batched pass evaluates every strategy at once.
+    let batch = AvailabilitySweep::singletons(view, &order).evaluate(&[1, 2, 4]);
+    report("no replication", batch.none.last().unwrap().availability);
+    report(
+        "subscription (Mastodon-ish)",
+        batch.subscription.last().unwrap().availability,
+    );
+    for (n, r) in &batch.random {
         report(
             &format!("random, {n} replica(s)"),
             r.last().unwrap().availability,
         );
     }
+    let groups = singleton_groups(&order);
 
     // The paper's closing suggestion: weight replica placement by capacity.
     let capacities: Vec<f64> = obs

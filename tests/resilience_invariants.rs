@@ -47,7 +47,8 @@ fn subscription_availability_dominated_by_graph_survival() {
     let mut lost = 0u64;
     for u in 0..view.n_users() {
         let home_gone = removed.contains(&view.home[u]);
-        let replicas_gone = view.follower_instances[u]
+        let replicas_gone = view
+            .follower_instances(u)
             .iter()
             .all(|i| removed.contains(i));
         if home_gone && replicas_gone {
@@ -95,4 +96,45 @@ fn strategies_are_totally_ordered_everywhere() {
             "subscription must dominate no-replication at every step"
         );
     }
+}
+
+#[test]
+fn batched_sweep_agrees_with_naive_on_observatory_orders() {
+    // The batched engine must be bit-identical to the per-strategy
+    // reference on the real removal orders the figures use — both the
+    // flat toot-ranked instance order and the grouped AS order.
+    use fediscope::replication::eval::AvailabilitySweep;
+
+    let o = obs();
+    let view = o.content_view();
+    let order = o.instance_order(Metric::Toots);
+    let k = 15.min(order.len());
+    let groups = singleton_groups(&order[..k]);
+    let batch = AvailabilitySweep::singletons(view, &order[..k]).evaluate(&[1, 4, 9]);
+    assert_eq!(
+        batch.none,
+        availability_curve(view, Strategy::NoReplication, &groups)
+    );
+    assert_eq!(
+        batch.subscription,
+        availability_curve(view, Strategy::Subscription, &groups)
+    );
+    for (n, curve) in &batch.random {
+        assert_eq!(
+            curve,
+            &availability_curve(view, Strategy::Random { n: *n }, &groups)
+        );
+    }
+
+    let mut as_groups = o.as_groups(Metric::Toots);
+    as_groups.truncate(8);
+    let grouped = AvailabilitySweep::grouped(view, &as_groups).evaluate(&[]);
+    assert_eq!(
+        grouped.none,
+        availability_curve(view, Strategy::NoReplication, &as_groups)
+    );
+    assert_eq!(
+        grouped.subscription,
+        availability_curve(view, Strategy::Subscription, &as_groups)
+    );
 }
