@@ -4,7 +4,12 @@
 //!
 //! ```text
 //! bench_avail [--quick] [--seed N] [--out PATH] [--tier paper2019|mid|modern]
+//!             [--threads N]
 //! ```
+//!
+//! `--threads N` pins the shard-worker budget (recorded as `"threads"`
+//! in every JSON line alongside `"cores"`); histogram merging is exact,
+//! so output is bit-identical at any setting.
 //!
 //! Three engines are compared on the same workloads; all must produce
 //! bit-identical curves:
@@ -33,8 +38,10 @@
 
 use fediscope_core::content::FIG16_NS as NS;
 use fediscope_core::{Metric, Observatory};
+use fediscope_graph::par;
 use fediscope_replication::eval::{
-    availability_curve, singleton_groups, AvailabilityPoint, AvailabilitySweep, Strategy,
+    availability_curve, evaluate_plans_fused, singleton_groups, AvailabilityPoint,
+    AvailabilitySweep, RemovalPlan, Strategy,
 };
 use fediscope_worldgen::{Generator, ScaleTier, WorldConfig};
 use std::io::Write as _;
@@ -204,6 +211,7 @@ struct Args {
     seed: u64,
     out: String,
     tier: Option<ScaleTier>,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -212,6 +220,7 @@ fn parse_args() -> Args {
         seed: 42,
         out: "BENCH_avail.json".to_string(),
         tier: None,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -231,10 +240,18 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| panic!("unknown tier {name:?} (paper2019|mid|modern)")),
                 );
             }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+                assert!(t >= 1, "--threads must be at least 1");
+                a.threads = Some(t);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_avail [--quick] [--seed N] [--out PATH] \
-                     [--tier paper2019|mid|modern]"
+                     [--tier paper2019|mid|modern] [--threads N]"
                 );
                 std::process::exit(0);
             }
@@ -321,11 +338,13 @@ fn csr_fig15(obs: &Observatory, order: &[u32], as_groups: &[Vec<u32>]) -> Curves
     ]
 }
 
-/// Batched path for Fig. 15: one pass per removal order.
+/// Batched path for Fig. 15: both plans compiled up front, one fused
+/// walk over the union of their removed instances' resident segments.
 fn batched_fig15(obs: &Observatory, order: &[u32], as_groups: &[Vec<u32>]) -> Curves {
     let view = obs.content_view();
-    let inst = AvailabilitySweep::singletons(view, order).evaluate(&[]);
-    let by_as = AvailabilitySweep::grouped(view, as_groups).evaluate(&[]);
+    let inst_plan = RemovalPlan::from_order(view.n_instances, order);
+    let as_plan = RemovalPlan::from_groups(view.n_instances, as_groups);
+    let (inst, by_as) = evaluate_plans_fused(view, &inst_plan, &as_plan, &[]);
     vec![inst.none, inst.subscription, by_as.none, by_as.subscription]
 }
 
@@ -393,6 +412,10 @@ fn record(out: &str, json: &str) {
 
 fn main() {
     let args = parse_args();
+    par::set_thread_override(args.threads);
+    let threads = par::thread_budget();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!("shard workers: {threads} (machine offers {cores})");
     let mode = if args.quick { "quick" } else { "full" };
     // Best-of-9 in every mode: the minimum is robust to scheduler noise on
     // shared CI runners, and the workloads are at most tens of ms.
@@ -459,6 +482,7 @@ fn main() {
                 &args.out,
                 &format!(
                     "{{\"bench\":\"avail_tier\",\"tier\":\"{tier_str}\",\"mode\":\"{mode}\",\
+                     \"threads\":{threads},\"cores\":{cores},\
                      \"users\":{users},\"instances\":{inst},\"holder_entries\":{he},\
                      \"seed\":{seed},\"gen_seconds\":{gen_s:.3},\
                      \"fig16_removals\":{r16},\"fig16_ns\":{ns},\
@@ -519,6 +543,7 @@ fn main() {
                 &args.out,
                 &format!(
                     "{{\"bench\":\"fig16_multi_n\",\"mode\":\"{mode}\",\
+                     \"threads\":{threads},\"cores\":{cores},\
                      \"users\":{users},\"instances\":{inst},\"holder_entries\":{he},\
                      \"removals\":{k},\"ns\":{ns},\"seed\":{seed},\
                      \"naive_seconds\":{n:.6},\"naive_csr_seconds\":{c:.6},\

@@ -4,7 +4,14 @@
 //!
 //! ```text
 //! bench_graph [--quick] [--seed N] [--out PATH] [--tier paper2019|mid|modern]
+//!             [--threads N]
 //! ```
+//!
+//! `--threads N` pins the shard-worker budget of the parallel
+//! connectivity core (`par::set_thread_override`) and is recorded in
+//! every JSON line (`"threads"`, plus `"cores"` = what the machine
+//! actually offers). Output is bit-identical at any thread count, so
+//! thread sweeps only move the wall-clock columns.
 //!
 //! Without `--tier`, full mode builds a ~100k-node / ~1M-edge power-law
 //! follower graph through the worldgen pipeline and runs the Fig. 12
@@ -22,6 +29,7 @@
 //! identity check still holds; the speedup floors are not enforced).
 
 use fediscope_bench::{bench_user_graph, tier_user_graph};
+use fediscope_graph::par;
 use fediscope_graph::removal::{RankBy, RemovalSweep};
 use fediscope_graph::DiGraph;
 use fediscope_worldgen::ScaleTier;
@@ -33,6 +41,7 @@ struct Args {
     seed: u64,
     out: String,
     tier: Option<ScaleTier>,
+    threads: Option<usize>,
 }
 
 fn parse_args() -> Args {
@@ -41,6 +50,7 @@ fn parse_args() -> Args {
         seed: 42,
         out: "BENCH_graph.json".to_string(),
         tier: None,
+        threads: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -60,10 +70,18 @@ fn parse_args() -> Args {
                         .unwrap_or_else(|| panic!("unknown tier {name:?} (paper2019|mid|modern)")),
                 );
             }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+                assert!(t >= 1, "--threads must be at least 1");
+                a.threads = Some(t);
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: bench_graph [--quick] [--seed N] [--out PATH] \
-                     [--tier paper2019|mid|modern]"
+                     [--tier paper2019|mid|modern] [--threads N]"
                 );
                 std::process::exit(0);
             }
@@ -154,6 +172,10 @@ fn record(out: &str, json: &str) {
 
 fn main() {
     let args = parse_args();
+    par::set_thread_override(args.threads);
+    let threads = par::thread_budget();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!("shard workers: {threads} (machine offers {cores})");
     let mode = if args.quick { "quick" } else { "full" };
     let (steps, trials) = if args.quick { (25, 2) } else { (100, 3) };
 
@@ -197,6 +219,7 @@ fn main() {
             &args.out,
             &format!(
                 "{{\"bench\":\"fig12_tier\",\"tier\":\"{tier}\",\"mode\":\"{mode}\",\
+                 \"threads\":{threads},\"cores\":{cores},\
                  \"nodes\":{nodes},\"edges\":{edges},\"steps\":{steps},\
                  \"frac_per_round\":0.01,\"seed\":{seed},\"gen_seconds\":{gen_s:.3},\
                  \"naive_seconds\":{pn:.6},\"incremental_seconds\":{pi:.6},\
@@ -224,6 +247,7 @@ fn main() {
                     &args.out,
                     &format!(
                         "{{\"bench\":\"{name}\",\"mode\":\"{mode}\",\
+                         \"threads\":{threads},\"cores\":{cores},\
                          \"nodes\":{nodes},\"edges\":{edges},\"steps\":{steps},\
                          \"frac_per_round\":0.01,\"seed\":{seed},\
                          \"naive_seconds\":{n:.6},\"incremental_seconds\":{i:.6},\

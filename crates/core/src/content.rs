@@ -1,9 +1,10 @@
 //! §5.2 analyses: content federation and replication (Figs. 14–16).
 
 use crate::observatory::{Metric, Observatory};
-use fediscope_graph::par;
 use fediscope_model::scale::ScaleTier;
-use fediscope_replication::eval::{AvailabilityPoint, AvailabilitySweep};
+use fediscope_replication::eval::{
+    evaluate_plans_fused, AvailabilityPoint, AvailabilitySweep, RemovalPlan,
+};
 use fediscope_stats::pearson;
 
 /// Fig. 14: home vs remote toots on federated timelines.
@@ -87,9 +88,12 @@ pub struct Fig15Replication {
 
 /// Compute Fig. 15 with sweeps of `max_instances` and `max_ases` removals.
 ///
-/// Each removal order runs through one batched [`AvailabilitySweep`] pass
-/// that yields the no-replication and subscription curves together; the
-/// two independent orders (instances / ASes) fan out on two threads.
+/// Both removal orders are compiled into [`RemovalPlan`]s up front and
+/// evaluated out of **one** fused walk over the union of their removed
+/// instances' resident segments ([`evaluate_plans_fused`]): the heavily
+/// overlapping instance/AS orders share most of their segments, so the
+/// fused walk streams each shared segment once instead of twice —
+/// bit-identical curves to two independent sweeps.
 pub fn fig15_replication(
     obs: &Observatory,
     max_instances: usize,
@@ -101,10 +105,9 @@ pub fn fig15_replication(
     let mut as_groups = obs.as_groups(Metric::Toots);
     as_groups.truncate(max_ases);
 
-    let (by_instance, by_as) = par::join(
-        || AvailabilitySweep::singletons(view, &inst_order).evaluate(&[]),
-        || AvailabilitySweep::grouped(view, &as_groups).evaluate(&[]),
-    );
+    let inst_plan = RemovalPlan::from_order(view.n_instances, &inst_order);
+    let as_plan = RemovalPlan::from_groups(view.n_instances, &as_groups);
+    let (by_instance, by_as) = evaluate_plans_fused(view, &inst_plan, &as_plan, &[]);
 
     let loss_at = |curve: &[AvailabilityPoint], k: usize| {
         1.0 - curve[k.min(curve.len() - 1)].availability
@@ -245,6 +248,25 @@ mod tests {
         // replication-skew facts
         assert!(f.unreplicated_frac > 0.0);
         assert!(f.over10_frac > 0.0);
+    }
+
+    #[test]
+    fn fig15_fused_walk_equals_two_independent_passes() {
+        // Real Observatory orders: the fused two-plan walk must be
+        // bit-identical to evaluating each removal order on its own.
+        let o = obs();
+        let view = o.content_view();
+        let mut inst_order = o.instance_order(Metric::Toots);
+        inst_order.truncate(30);
+        let mut as_groups = o.as_groups(Metric::Toots);
+        as_groups.truncate(10);
+        let by_instance = AvailabilitySweep::singletons(view, &inst_order).evaluate(&[]);
+        let by_as = AvailabilitySweep::grouped(view, &as_groups).evaluate(&[]);
+        let f = fig15_replication(&o, 30, 10);
+        assert_eq!(f.none_by_instance, by_instance.none);
+        assert_eq!(f.sub_by_instance, by_instance.subscription);
+        assert_eq!(f.none_by_as, by_as.none);
+        assert_eq!(f.sub_by_as, by_as.subscription);
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //!   naive reference kept for differential testing (see `README.md` for the
 //!   complexity model),
 //! - [`par`]: deterministic parallel fan-out for independent sweeps,
+//! - [`par_unionfind`]: shard-and-merge union-find — parallelism *inside*
+//!   one connectivity evaluation, with bit-identical output at any thread
+//!   count,
 //! - [`projection`]: quotient graphs (user graph → instance federation
 //!   graph → country graph; Figs. 6, 13).
 
@@ -27,6 +30,7 @@ pub mod components;
 pub mod degree;
 pub mod digraph;
 pub mod par;
+pub mod par_unionfind;
 pub mod projection;
 pub mod removal;
 pub mod unionfind;
@@ -35,5 +39,6 @@ pub use components::{
     strongly_connected, weakly_connected, ComponentInfo, ComponentScratch, WccSummary,
 };
 pub use digraph::{DiGraph, GraphBuilder};
+pub use par_unionfind::{parallel_wcc, EpochUnionFind, ParBatchUnion, ParWccSummary};
 pub use removal::{RemovalSweep, SweepPoint};
 pub use unionfind::{UnionFind, WeightedUnionFind};

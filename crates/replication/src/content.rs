@@ -47,6 +47,10 @@ pub struct ContentView {
     /// Toot count per resident row (home-major order: by instance, then
     /// ascending user id).
     pub(crate) res_toots: Vec<u64>,
+    /// User id per resident row — lets evaluators that need per-user
+    /// state (the Monte-Carlo placement streams are keyed by user id)
+    /// walk the arena without a detour through the home CSR.
+    pub(crate) res_users: Vec<u32>,
     /// CSR offsets into [`Self::res_holder_data`] per resident row.
     pub(crate) res_holder_offsets: Vec<u32>,
     /// Holder slices per resident row (same contents as the user-major
@@ -129,6 +133,7 @@ impl ContentView {
         let tooting = toots.iter().filter(|&&t| t > 0).count();
         let mut res_bounds = Vec::with_capacity(n_instances + 1);
         let mut res_toots = Vec::with_capacity(tooting);
+        let mut res_users = Vec::with_capacity(tooting);
         let mut res_holder_offsets = Vec::with_capacity(tooting + 1);
         let mut res_holder_data = Vec::new();
         res_bounds.push(0u32);
@@ -144,6 +149,7 @@ impl ContentView {
                     continue;
                 }
                 res_toots.push(toots[u]);
+                res_users.push(u as u32);
                 res_holder_data.extend_from_slice(
                     &holder_data[holder_offsets[u] as usize..holder_offsets[u + 1] as usize],
                 );
@@ -163,6 +169,7 @@ impl ContentView {
             home_users_data,
             res_bounds,
             res_toots,
+            res_users,
             res_holder_offsets,
             res_holder_data,
             total_toots,
@@ -319,6 +326,7 @@ mod tests {
                 .collect();
             assert_eq!(hi - lo, tooting.len(), "instance {i} row count");
             for (row, &u) in (lo..hi).zip(&tooting) {
+                assert_eq!(v.res_users[row], u);
                 assert_eq!(v.res_toots[row], v.toots[u as usize]);
                 let slice = &v.res_holder_data[v.res_holder_offsets[row] as usize
                     ..v.res_holder_offsets[row + 1] as usize];

@@ -82,10 +82,22 @@ pub struct RemovalPlan {
     /// `removed_prefix[k]`: instances removed after step `k` (duplicated
     /// members count once per listing, mirroring the reference evaluator).
     removed_prefix: Vec<usize>,
+    /// Instances that are ever removed (ascending, deduplicated) —
+    /// compiled here once so every evaluation (batched sweep, fused
+    /// two-plan walk, Monte-Carlo) starts from the list directly instead
+    /// of re-filtering all `n_instances` per call.
+    removed: Vec<u32>,
 }
 
 /// Sentinel step for instances that are never removed.
 const NEVER: u32 = u32::MAX;
+
+/// Ascending list of instances with a finite death step.
+fn removed_of(steps: &[u32]) -> Vec<u32> {
+    (0..steps.len() as u32)
+        .filter(|&i| steps[i as usize] != NEVER)
+        .collect()
+}
 
 impl RemovalPlan {
     /// Compile a flat order: element `g` is removed (alone) at step `g + 1`.
@@ -97,9 +109,11 @@ impl RemovalPlan {
                 steps[m as usize] = g as u32 + 1;
             }
         }
+        let removed = removed_of(&steps);
         RemovalPlan {
             steps,
             removed_prefix: (0..=order.len()).collect(),
+            removed,
         }
     }
 
@@ -122,15 +136,28 @@ impl RemovalPlan {
             acc += g.len();
             removed_prefix.push(acc);
         }
+        let removed = removed_of(&steps);
         RemovalPlan {
             steps,
             removed_prefix,
+            removed,
         }
     }
 
     /// Number of removal steps.
     pub fn n_steps(&self) -> usize {
         self.removed_prefix.len() - 1
+    }
+
+    /// Instances removed at any step (ascending, deduplicated).
+    pub fn removed_instances(&self) -> &[u32] {
+        &self.removed
+    }
+
+    /// Per-instance death step table (`u32::MAX` = never removed), for
+    /// in-crate evaluators built on the same plan compilation.
+    pub(crate) fn steps(&self) -> &[u32] {
+        &self.steps
     }
 }
 
@@ -196,22 +223,8 @@ impl<'v> AvailabilitySweep<'v> {
     /// over users via [`par::parallel_map`] and merged with exact integer
     /// adds, so output is independent of thread and shard count.
     pub fn evaluate(&self, random_ns: &[usize]) -> AvailabilityBatch {
-        let n_steps = self.plan.n_steps();
         let (home_death, sub_death) = self.death_histograms();
-        let total = self.view.total_toots.max(1) as f64;
-
-        let to_f64 = |h: &[u64]| h.iter().map(|&v| v as f64).collect::<Vec<f64>>();
-        let none = fold_availability(&to_f64(&home_death), n_steps, total);
-        let subscription = fold_availability(&to_f64(&sub_death), n_steps, total);
-        let random = random_ns
-            .iter()
-            .map(|&n| (n, self.random_curve_from_home_deaths(&home_death, n)))
-            .collect();
-        AvailabilityBatch {
-            none,
-            subscription,
-            random,
-        }
+        batch_from_histograms(self.view, &self.plan, &home_death, &sub_death, random_ns)
     }
 
     /// The sharded scan: returns `(home_death, sub_death)` histograms of
@@ -219,7 +232,7 @@ impl<'v> AvailabilitySweep<'v> {
     ///
     /// The scan is *inverted*: only users homed on a **removed** instance
     /// can lose their toots under either strategy, so it walks the
-    /// [`ContentView::users_homed_on`] CSR slices of the removed instances
+    /// resident-arena segments of the plan's precompiled removed list
     /// instead of the whole population — sublinear in users whenever the
     /// removal order is a prefix of the network. Histograms are `u64`
     /// (toot counts are integral), so shard merging is exact and the
@@ -228,10 +241,8 @@ impl<'v> AvailabilitySweep<'v> {
         let view = self.view;
         let steps = &self.plan.steps[..];
         let n_steps = self.plan.n_steps();
-        let removed: Vec<u32> = (0..view.n_instances as u32)
-            .filter(|&i| steps[i as usize] != NEVER)
-            .collect();
-        let shards = instance_shards(view, &removed);
+        let removed = &self.plan.removed[..];
+        let shards = instance_shards(view, removed, EVAL_CHUNK_USERS);
         let partials = par::parallel_map(&shards, |&(lo, hi)| {
             let mut home_death = vec![0u64; n_steps + 2];
             let mut sub_death = vec![0u64; n_steps + 2];
@@ -286,41 +297,6 @@ impl<'v> AvailabilitySweep<'v> {
         (home_death, sub_death)
     }
 
-    /// Exact random-replication expectation from the shared home-death
-    /// histogram — term-for-term the same float sequence as the reference
-    /// evaluator, so the curves match bit-for-bit.
-    fn random_curve_from_home_deaths(
-        &self,
-        home_death: &[u64],
-        n: usize,
-    ) -> Vec<AvailabilityPoint> {
-        let n_steps = self.plan.n_steps();
-        let total = self.view.total_toots.max(1) as f64;
-        let i_total = self.view.n_instances;
-        let mut homeless = 0u64;
-        let mut out = Vec::with_capacity(n_steps + 1);
-        out.push(AvailabilityPoint {
-            removed: 0,
-            availability: 1.0,
-        });
-        for (k, &dead) in home_death.iter().enumerate().take(n_steps + 1).skip(1) {
-            let removed_count = self.plan.removed_prefix[k];
-            homeless += dead;
-            let mut p_all_gone = 1.0f64;
-            for i in 0..n {
-                let num = removed_count.saturating_sub(i) as f64;
-                let den = (i_total - i).max(1) as f64;
-                p_all_gone *= (num / den).clamp(0.0, 1.0);
-            }
-            let expected_lost = homeless as f64 * p_all_gone;
-            out.push(AvailabilityPoint {
-                removed: k,
-                availability: 1.0 - expected_lost / total,
-            });
-        }
-        out
-    }
-
     /// Monte-Carlo evaluation of random replication with explicit per-toot
     /// placements — see [`random_monte_carlo_curve`] for semantics. Runs
     /// sharded with the default chunk size.
@@ -328,9 +304,17 @@ impl<'v> AvailabilitySweep<'v> {
         self.monte_carlo_chunked(n, toot_cap, seed, EVAL_CHUNK_USERS)
     }
 
-    /// [`Self::monte_carlo`] with an explicit shard size (users per shard).
+    /// [`Self::monte_carlo`] with an explicit shard size (resident rows
+    /// per shard).
     ///
-    /// Output is **independent of `chunk_users`**: each user draws from its
+    /// The walk is *inverted* onto the resident arena: only users homed
+    /// on a removed instance can lose a placement race, so the scan
+    /// iterates the plan's removed instances' resident segments
+    /// (sequential toot counts + user ids) instead of testing every user
+    /// in the population — sublinear in users for any realistic removal
+    /// prefix.
+    ///
+    /// Output is **independent of `chunk_rows`**: each user draws from its
     /// own counter-derived RNG stream and contributes integral toot mass to
     /// a `u64` histogram, so shard merging is exact in any order. Exposed
     /// so tests can pin 1-shard ≡ N-shard equality.
@@ -339,23 +323,17 @@ impl<'v> AvailabilitySweep<'v> {
         n: usize,
         toot_cap: u32,
         seed: u64,
-        chunk_users: usize,
+        chunk_rows: usize,
     ) -> Vec<AvailabilityPoint> {
-        assert!(chunk_users > 0, "chunk_users must be positive");
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
         assert!(toot_cap > 0, "toot_cap must be positive");
         let view = self.view;
         let steps = &self.plan.steps[..];
         let n_steps = self.plan.n_steps();
         let n_inst = view.n_instances;
         let target = n.min(n_inst);
-
-        let mut shards = Vec::new();
-        let mut lo = 0usize;
-        while lo < view.n_users() {
-            let hi = lo.saturating_add(chunk_users).min(view.n_users());
-            shards.push((lo, hi));
-            lo = hi;
-        }
+        let removed = &self.plan.removed[..];
+        let shards = instance_shards(view, removed, chunk_rows);
 
         let partials = par::parallel_map(&shards, |&(lo, hi)| {
             let mut death = vec![0u64; n_steps + 2];
@@ -364,41 +342,47 @@ impl<'v> AvailabilitySweep<'v> {
             // instead of a linear `contains` over a per-sample Vec.
             let mut stamp = vec![0u64; n_inst];
             let mut epoch = 0u64;
-            for u in lo..hi {
-                let toots = view.toots[u];
-                if toots == 0 {
-                    continue;
-                }
-                let home_step = steps[view.home[u] as usize] as usize;
-                if home_step > n_steps {
-                    continue; // home survives: toot always available
-                }
-                // Counter-derived per-user stream: placement draws do not
-                // depend on which shard (or thread) processes the user.
-                let mut rng = user_stream_rng(seed, u);
-                let samples = toots.min(toot_cap as u64);
-                // Integral weights: sample j stands for base (+1 for the
-                // first `rem` samples) real toots, so histogram mass stays
-                // integer-exact under any accumulation order.
-                let base = toots / samples;
-                let rem = toots % samples;
-                for j in 0..samples {
-                    epoch += 1;
-                    let mut dead_step = home_step;
-                    let mut picked = 0usize;
-                    while picked < target {
-                        let cand = rng.gen_range(0..n_inst as u32) as usize;
-                        if stamp[cand] != epoch {
-                            stamp[cand] = epoch;
-                            picked += 1;
-                            let s = steps[cand] as usize;
-                            if s > dead_step {
-                                dead_step = s;
+            for &inst in &removed[lo..hi] {
+                // Every resident's home dies at this step; the arena rows
+                // carry exactly the tooting users (zero-toot users hold
+                // no mass and are already excluded).
+                let home_step = steps[inst as usize] as usize;
+                let (rlo, rhi) = (
+                    view.res_bounds[inst as usize] as usize,
+                    view.res_bounds[inst as usize + 1] as usize,
+                );
+                for row in rlo..rhi {
+                    let toots = view.res_toots[row];
+                    // Counter-derived per-user stream: placement draws do
+                    // not depend on which shard (or thread) processes the
+                    // user — and match the former full-population scan
+                    // stream for stream.
+                    let mut rng = user_stream_rng(seed, view.res_users[row] as usize);
+                    let samples = toots.min(toot_cap as u64);
+                    // Integral weights: sample j stands for base (+1 for
+                    // the first `rem` samples) real toots, so histogram
+                    // mass stays integer-exact under any accumulation
+                    // order.
+                    let base = toots / samples;
+                    let rem = toots % samples;
+                    for j in 0..samples {
+                        epoch += 1;
+                        let mut dead_step = home_step;
+                        let mut picked = 0usize;
+                        while picked < target {
+                            let cand = rng.gen_range(0..n_inst as u32) as usize;
+                            if stamp[cand] != epoch {
+                                stamp[cand] = epoch;
+                                picked += 1;
+                                let s = steps[cand] as usize;
+                                if s > dead_step {
+                                    dead_step = s;
+                                }
                             }
                         }
-                    }
-                    if dead_step <= n_steps {
-                        death[dead_step] += base + u64::from(j < rem);
+                        if dead_step <= n_steps {
+                            death[dead_step] += base + u64::from(j < rem);
+                        }
                     }
                 }
             }
@@ -417,18 +401,22 @@ impl<'v> AvailabilitySweep<'v> {
 }
 
 /// Shard ranges over a removed-instance list, split at instance
-/// boundaries so each shard covers roughly [`EVAL_CHUNK_USERS`] resident
-/// rows. Layout depends only on the view and the list — never on the
-/// thread count (and the merged histograms are exact integer sums, so the
-/// layout could not change output even if it did).
-fn instance_shards(view: &ContentView, removed: &[u32]) -> Vec<(usize, usize)> {
+/// boundaries so each shard covers roughly `chunk_rows` resident rows.
+/// Layout depends only on the view, the list, and the chunk target —
+/// never on the thread count (and the merged histograms are exact
+/// integer sums, so the layout could not change output even if it did).
+pub(crate) fn instance_shards(
+    view: &ContentView,
+    removed: &[u32],
+    chunk_rows: usize,
+) -> Vec<(usize, usize)> {
     let mut shards = Vec::new();
     let mut lo = 0usize;
     let mut rows = 0usize;
     for (k, &inst) in removed.iter().enumerate() {
         let i = inst as usize;
         rows += (view.res_bounds[i + 1] - view.res_bounds[i]) as usize;
-        if rows >= EVAL_CHUNK_USERS {
+        if rows >= chunk_rows {
             shards.push((lo, k + 1));
             lo = k + 1;
             rows = 0;
@@ -440,10 +428,194 @@ fn instance_shards(view: &ContentView, removed: &[u32]) -> Vec<(usize, usize)> {
     shards
 }
 
+/// Assemble every strategy curve of one plan from its two death
+/// histograms (shared by [`AvailabilitySweep::evaluate`] and the fused
+/// two-plan walk, so both paths produce byte-identical batches).
+fn batch_from_histograms(
+    view: &ContentView,
+    plan: &RemovalPlan,
+    home_death: &[u64],
+    sub_death: &[u64],
+    random_ns: &[usize],
+) -> AvailabilityBatch {
+    let n_steps = plan.n_steps();
+    let total = view.total_toots.max(1) as f64;
+    let to_f64 = |h: &[u64]| h.iter().map(|&v| v as f64).collect::<Vec<f64>>();
+    AvailabilityBatch {
+        none: fold_availability(&to_f64(home_death), n_steps, total),
+        subscription: fold_availability(&to_f64(sub_death), n_steps, total),
+        random: random_ns
+            .iter()
+            .map(|&n| (n, random_curve_from_home_deaths(view, plan, home_death, n)))
+            .collect(),
+    }
+}
+
+/// Exact random-replication expectation from the shared home-death
+/// histogram — term-for-term the same float sequence as the reference
+/// evaluator, so the curves match bit-for-bit.
+fn random_curve_from_home_deaths(
+    view: &ContentView,
+    plan: &RemovalPlan,
+    home_death: &[u64],
+    n: usize,
+) -> Vec<AvailabilityPoint> {
+    let n_steps = plan.n_steps();
+    let total = view.total_toots.max(1) as f64;
+    let i_total = view.n_instances;
+    let mut homeless = 0u64;
+    let mut out = Vec::with_capacity(n_steps + 1);
+    out.push(AvailabilityPoint {
+        removed: 0,
+        availability: 1.0,
+    });
+    for (k, &dead) in home_death.iter().enumerate().take(n_steps + 1).skip(1) {
+        let removed_count = plan.removed_prefix[k];
+        homeless += dead;
+        let mut p_all_gone = 1.0f64;
+        for i in 0..n {
+            let num = removed_count.saturating_sub(i) as f64;
+            let den = (i_total - i).max(1) as f64;
+            p_all_gone *= (num / den).clamp(0.0, 1.0);
+        }
+        let expected_lost = homeless as f64 * p_all_gone;
+        out.push(AvailabilityPoint {
+            removed: k,
+            availability: 1.0 - expected_lost / total,
+        });
+    }
+    out
+}
+
+/// Evaluate **two** removal plans out of one walk over the union of
+/// their removed instances' resident segments.
+///
+/// Fig. 15 sweeps the same world under two orders (top instances, top
+/// ASes) whose removed sets overlap heavily; evaluating them separately
+/// re-streams the shared segments. This fused walk reads each segment
+/// once, folding every resident's death steps under *both* plans into
+/// both histogram pairs — the holder scan keeps one cursor and stops as
+/// soon as each active plan has found a surviving holder. Histograms are
+/// exact `u64` sums, so each returned batch is bit-identical to what
+/// `AvailabilitySweep::with_plan(view, plan).evaluate(random_ns)` yields
+/// for that plan alone, at any shard or thread count.
+pub fn evaluate_plans_fused(
+    view: &ContentView,
+    plan_a: &RemovalPlan,
+    plan_b: &RemovalPlan,
+    random_ns: &[usize],
+) -> (AvailabilityBatch, AvailabilityBatch) {
+    assert_eq!(plan_a.steps.len(), view.n_instances, "plan A instance count");
+    assert_eq!(plan_b.steps.len(), view.n_instances, "plan B instance count");
+    let steps_a = &plan_a.steps[..];
+    let steps_b = &plan_b.steps[..];
+    let (na, nb) = (plan_a.n_steps(), plan_b.n_steps());
+
+    // Union of the two removed lists (both ascending, deduplicated).
+    let mut union = Vec::with_capacity(plan_a.removed.len() + plan_b.removed.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < plan_a.removed.len() || j < plan_b.removed.len() {
+        let x = plan_a.removed.get(i).copied().unwrap_or(u32::MAX);
+        let y = plan_b.removed.get(j).copied().unwrap_or(u32::MAX);
+        union.push(x.min(y));
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+
+    let shards = instance_shards(view, &union, EVAL_CHUNK_USERS);
+    let partials = par::parallel_map(&shards, |&(lo, hi)| {
+        let mut home_a = vec![0u64; na + 2];
+        let mut sub_a = vec![0u64; na + 2];
+        let mut home_b = vec![0u64; nb + 2];
+        let mut sub_b = vec![0u64; nb + 2];
+        for &inst in &union[lo..hi] {
+            let ha = steps_a[inst as usize];
+            let hb = steps_b[inst as usize];
+            let (need_a, need_b) = (ha != NEVER, hb != NEVER);
+            let (rlo, rhi) = (
+                view.res_bounds[inst as usize] as usize,
+                view.res_bounds[inst as usize + 1] as usize,
+            );
+            let mut seg_toots = 0u64;
+            for row in rlo..rhi {
+                let toots = view.res_toots[row];
+                seg_toots += toots;
+                // One holder cursor serves both plans: each plan's
+                // subscription death is the max step over home+holders,
+                // falsified by the first holder that survives that plan.
+                let mut death_a = ha;
+                let mut death_b = hb;
+                let mut gone_a = need_a;
+                let mut gone_b = need_b;
+                for &f in &view.res_holder_data[view.res_holder_offsets[row] as usize
+                    ..view.res_holder_offsets[row + 1] as usize]
+                {
+                    if gone_a {
+                        let s = steps_a[f as usize];
+                        if s == NEVER {
+                            gone_a = false;
+                        } else {
+                            death_a = death_a.max(s);
+                        }
+                    }
+                    if gone_b {
+                        let s = steps_b[f as usize];
+                        if s == NEVER {
+                            gone_b = false;
+                        } else {
+                            death_b = death_b.max(s);
+                        }
+                    }
+                    if !gone_a && !gone_b {
+                        break;
+                    }
+                }
+                if gone_a {
+                    sub_a[death_a as usize] += toots;
+                }
+                if gone_b {
+                    sub_b[death_b as usize] += toots;
+                }
+            }
+            if need_a {
+                home_a[ha as usize] += seg_toots;
+            }
+            if need_b {
+                home_b[hb as usize] += seg_toots;
+            }
+        }
+        (home_a, sub_a, home_b, sub_b)
+    });
+    let mut home_a = vec![0u64; na + 2];
+    let mut sub_a = vec![0u64; na + 2];
+    let mut home_b = vec![0u64; nb + 2];
+    let mut sub_b = vec![0u64; nb + 2];
+    for (pha, psa, phb, psb) in partials {
+        for (acc, v) in home_a.iter_mut().zip(&pha) {
+            *acc += v;
+        }
+        for (acc, v) in sub_a.iter_mut().zip(&psa) {
+            *acc += v;
+        }
+        for (acc, v) in home_b.iter_mut().zip(&phb) {
+            *acc += v;
+        }
+        for (acc, v) in sub_b.iter_mut().zip(&psb) {
+            *acc += v;
+        }
+    }
+    (
+        batch_from_histograms(view, plan_a, &home_a, &sub_a, random_ns),
+        batch_from_histograms(view, plan_b, &home_b, &sub_b, random_ns),
+    )
+}
+
 /// The RNG stream for user `u`: a golden-ratio counter mix feeding the
 /// SplitMix64 expansion inside `seed_from_u64`, so streams are
 /// decorrelated and depend only on `(seed, u)` — never on scheduling.
-fn user_stream_rng(seed: u64, u: usize) -> StdRng {
+/// Shared with the capacity-weighted evaluator (`weighted.rs`) so both
+/// Monte-Carlo engines draw from the same per-user streams.
+pub(crate) fn user_stream_rng(seed: u64, u: usize) -> StdRng {
     StdRng::seed_from_u64(seed ^ (u as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15))
 }
 
@@ -816,6 +988,53 @@ mod tests {
     }
 
     #[test]
+    fn fused_two_plan_walk_equals_two_sweeps() {
+        let v = view();
+        let order = toot_order(&v);
+        let inst_plan = RemovalPlan::from_order(v.n_instances, &order[..15]);
+        // a grouped "AS" order overlapping the instance order
+        let groups = vec![
+            order[..4].to_vec(),
+            order[10..14].to_vec(),
+            order[20..26].to_vec(),
+        ];
+        let as_plan = RemovalPlan::from_groups(v.n_instances, &groups);
+        let ns = [2usize, 5];
+        let (fa, fb) = evaluate_plans_fused(&v, &inst_plan, &as_plan, &ns);
+        let sa = AvailabilitySweep::with_plan(&v, inst_plan).evaluate(&ns);
+        let sb = AvailabilitySweep::with_plan(&v, as_plan).evaluate(&ns);
+        assert_eq!(fa, sa);
+        assert_eq!(fb, sb);
+    }
+
+    #[test]
+    fn fused_walk_with_empty_plan() {
+        let v = view();
+        let order = toot_order(&v);
+        let some = RemovalPlan::from_order(v.n_instances, &order[..8]);
+        let none = RemovalPlan::from_order(v.n_instances, &[]);
+        let (fa, fb) = evaluate_plans_fused(&v, &some, &none, &[]);
+        assert_eq!(fa, AvailabilitySweep::with_plan(&v, some).evaluate(&[]));
+        assert_eq!(fb.none.len(), 1);
+        assert_eq!(fb.none[0].availability, 1.0);
+    }
+
+    #[test]
+    fn plan_removed_instances_are_sorted_unique() {
+        let v = view();
+        let order = toot_order(&v);
+        let mut with_dup = order[..10].to_vec();
+        with_dup.push(order[3]);
+        let plan = RemovalPlan::from_order(v.n_instances, &with_dup);
+        let removed = plan.removed_instances();
+        assert_eq!(removed.len(), 10);
+        assert!(removed.windows(2).all(|w| w[0] < w[1]));
+        let mut expect = order[..10].to_vec();
+        expect.sort_unstable();
+        assert_eq!(removed, &expect[..]);
+    }
+
+    #[test]
     fn monte_carlo_shard_count_invariant() {
         let v = view();
         let order = toot_order(&v);
@@ -928,6 +1147,29 @@ mod prop_tests {
             }
         }
 
+        /// The fused two-plan walk must equal two independent sweeps for
+        /// any pair of (possibly overlapping, possibly duplicated)
+        /// removal orders — singleton × grouped shapes included.
+        #[test]
+        fn fused_pair_bit_identical_to_separate(
+            seed in 0u64..1000,
+            order_a in proptest::collection::vec(0u32..24, 0..30),
+            order_b in proptest::collection::vec(0u32..24, 0..30),
+            mut cuts in proptest::collection::vec(0usize..30, 0..5),
+        ) {
+            let v = tiny_view(seed);
+            cuts.sort_unstable();
+            cuts.dedup();
+            let plan_a = RemovalPlan::from_order(v.n_instances, &order_a);
+            let plan_b = RemovalPlan::from_groups(v.n_instances, &chop(&order_b, &cuts));
+            let ns = [1usize, 4];
+            let (fa, fb) = evaluate_plans_fused(&v, &plan_a, &plan_b, &ns);
+            let sa = AvailabilitySweep::with_plan(&v, plan_a).evaluate(&ns);
+            let sb = AvailabilitySweep::with_plan(&v, plan_b).evaluate(&ns);
+            prop_assert_eq!(fa, sa);
+            prop_assert_eq!(fb, sb);
+        }
+
         #[test]
         fn monte_carlo_shard_invariance(
             seed in 0u64..1000,
@@ -941,6 +1183,71 @@ mod prop_tests {
             let sharded = sweep.monte_carlo_chunked(2, 8, mc_seed, chunk);
             let serial = sweep.monte_carlo_chunked(2, 8, mc_seed, usize::MAX);
             prop_assert_eq!(sharded, serial);
+        }
+
+        /// The inverted (resident-arena) Monte-Carlo walk reproduces the
+        /// pre-inversion full-population scan bit-for-bit: same per-user
+        /// RNG streams, same integral weights, just without visiting the
+        /// users that cannot lose anything.
+        #[test]
+        fn monte_carlo_inversion_equals_full_scan(
+            seed in 0u64..500,
+            mc_seed in any::<u64>(),
+            order in proptest::collection::vec(0u32..24, 1..24),
+            n in 1usize..4,
+        ) {
+            let v = tiny_view(seed);
+            let sweep = AvailabilitySweep::singletons(&v, &order);
+
+            // Reference: the former evaluator's shape — scan *every*
+            // user, skip the ones whose home survives.
+            let plan = RemovalPlan::from_order(v.n_instances, &order);
+            let n_steps = plan.n_steps();
+            let n_inst = v.n_instances;
+            let target = n.min(n_inst);
+            let toot_cap = 8u32;
+            let mut death = vec![0u64; n_steps + 2];
+            let mut stamp = vec![0u64; n_inst];
+            let mut epoch = 0u64;
+            for u in 0..v.n_users() {
+                let toots = v.toots[u];
+                if toots == 0 {
+                    continue;
+                }
+                let home_step = plan.steps[v.home[u] as usize] as usize;
+                if home_step > n_steps {
+                    continue;
+                }
+                let mut rng = user_stream_rng(mc_seed, u);
+                let samples = toots.min(toot_cap as u64);
+                let base = toots / samples;
+                let rem = toots % samples;
+                for j in 0..samples {
+                    epoch += 1;
+                    let mut dead_step = home_step;
+                    let mut picked = 0usize;
+                    while picked < target {
+                        let cand = rng.gen_range(0..n_inst as u32) as usize;
+                        if stamp[cand] != epoch {
+                            stamp[cand] = epoch;
+                            picked += 1;
+                            let s = plan.steps[cand] as usize;
+                            if s > dead_step {
+                                dead_step = s;
+                            }
+                        }
+                    }
+                    if dead_step <= n_steps {
+                        death[dead_step] += base + u64::from(j < rem);
+                    }
+                }
+            }
+            let total = v.total_toots.max(1) as f64;
+            let death_f: Vec<f64> = death.iter().map(|&x| x as f64).collect();
+            let reference = fold_availability(&death_f, n_steps, total);
+
+            let inverted = sweep.monte_carlo(n, toot_cap, mc_seed);
+            prop_assert_eq!(inverted, reference);
         }
     }
 }

@@ -5,37 +5,94 @@
 //! Replicas are drawn with probability proportional to instance capacity
 //! instead of uniformly. The evaluator is Monte-Carlo (the non-uniform
 //! without-replacement expectation has no clean closed form).
+//!
+//! The production engine mirrors the uniform Monte-Carlo evaluator's
+//! discipline (see `eval.rs`): a Walker **alias table** makes each
+//! capacity-weighted draw `O(1)` (the original cumulative-sum sampler
+//! paid a binary search per draw), a **stamped scratch** gives `O(1)`
+//! replica distinctness (was a per-sample `Vec` + linear `contains`),
+//! each user draws from its own counter-derived RNG stream, per-sample
+//! weights are integral, and the walk is *inverted* onto the resident
+//! arena — only users homed on removed instances are visited. The `u64`
+//! histograms merge exactly, so output is shard- and thread-count
+//! independent. The pre-rewrite engine is kept as
+//! [`weighted_random_curve_reference`] for differential testing.
 
 use crate::content::ContentView;
-use crate::eval::AvailabilityPoint;
+use crate::eval::{instance_shards, user_stream_rng, AvailabilityPoint, RemovalPlan};
+use fediscope_graph::par;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-/// Weighted sampler over instances (cumulative-sum binary search).
-struct WeightedSampler {
-    cum: Vec<f64>,
+/// Walker alias table: `O(n)` construction, `O(1)` samples from a
+/// discrete distribution proportional to the given weights (negative
+/// weights clamp to zero).
+pub struct AliasTable {
+    /// Acceptance probability per bucket (scaled to mean 1).
+    prob: Vec<f64>,
+    /// Fallback bucket when the acceptance draw fails.
+    alias: Vec<u32>,
 }
 
-impl WeightedSampler {
-    fn new(weights: &[f64]) -> Self {
-        let mut cum = Vec::with_capacity(weights.len());
-        let mut acc = 0.0;
-        for &w in weights {
-            acc += w.max(0.0);
-            cum.push(acc);
+impl AliasTable {
+    /// Build from `weights`; panics if the clamped weights sum to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one weight");
+        assert!(n < u32::MAX as usize, "too many weights");
+        let total: f64 = weights.iter().map(|w| w.max(0.0)).sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w.max(0.0) * scale).collect();
+        let mut alias: Vec<u32> = (0..n as u32).collect();
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
         }
-        assert!(acc > 0.0, "weights must not all be zero");
-        Self { cum }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            // donate the overflow of l to fill s's bucket to exactly 1
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers on either worklist are buckets that should
+        // be exactly full.
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = 1.0;
+        }
+        Self { prob, alias }
     }
 
-    fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
-        let x = rng.gen::<f64>() * self.cum.last().unwrap();
-        self.cum.partition_point(|&c| c < x).min(self.cum.len() - 1) as u32
+    /// Draw one index (two RNG consumptions: bucket + acceptance).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+        let i = rng.gen_range(0..self.prob.len() as u32);
+        if rng.gen::<f64>() < self.prob[i as usize] {
+            i
+        } else {
+            self.alias[i as usize]
+        }
     }
 }
+
+/// Resident rows per shard (fixed, thread-agnostic — merging is exact,
+/// so the layout only affects scheduling; same constant family as the
+/// uniform evaluator's).
+const WEIGHTED_CHUNK_ROWS: usize = 65_536;
 
 /// Availability curve for capacity-weighted random replication with `n`
-/// replicas per toot, sampled per user batch (`toot_cap` samples per user).
+/// replicas per toot, sampled per user (up to `toot_cap` samples per
+/// user; the remaining toots ride the sampled placements with integral
+/// weights). Sharded over the removed instances' resident segments with
+/// shard-count-independent output.
 pub fn weighted_random_curve(
     view: &ContentView,
     capacities: &[f64],
@@ -44,7 +101,126 @@ pub fn weighted_random_curve(
     toot_cap: u32,
     seed: u64,
 ) -> Vec<AvailabilityPoint> {
+    weighted_random_curve_chunked(view, capacities, n, groups, toot_cap, seed, WEIGHTED_CHUNK_ROWS)
+}
+
+/// [`weighted_random_curve`] with an explicit shard size, exposed so
+/// tests can pin 1-shard ≡ N-shard equality (the same discipline as
+/// `AvailabilitySweep::monte_carlo_chunked`).
+#[allow(clippy::too_many_arguments)]
+pub fn weighted_random_curve_chunked(
+    view: &ContentView,
+    capacities: &[f64],
+    n: usize,
+    groups: &[Vec<u32>],
+    toot_cap: u32,
+    seed: u64,
+    chunk_rows: usize,
+) -> Vec<AvailabilityPoint> {
     assert_eq!(capacities.len(), view.n_instances, "capacity length");
+    assert!(toot_cap > 0, "toot_cap must be positive");
+    assert!(chunk_rows > 0, "chunk_rows must be positive");
+    let sampler = AliasTable::new(capacities);
+    let n_steps = groups.len();
+    let n_inst = view.n_instances;
+    let target = n.min(n_inst);
+
+    // Same plan compilation and shard layout as the uniform evaluator.
+    let plan = RemovalPlan::from_groups(n_inst, groups);
+    let steps = plan.steps();
+    let removed = plan.removed_instances();
+    let shards = instance_shards(view, removed, chunk_rows);
+
+    let partials = par::parallel_map(&shards, |&(slo, shi)| {
+        let mut death = vec![0u64; n_steps + 2];
+        let mut stamp = vec![0u64; n_inst];
+        let mut epoch = 0u64;
+        for &inst in &removed[slo..shi] {
+            let home_step = steps[inst as usize] as usize;
+            let (rlo, rhi) = (
+                view.res_bounds[inst as usize] as usize,
+                view.res_bounds[inst as usize + 1] as usize,
+            );
+            for row in rlo..rhi {
+                let toots = view.res_toots[row];
+                let mut rng = user_stream_rng(seed, view.res_users[row] as usize);
+                let samples = toots.min(toot_cap as u64);
+                let base = toots / samples;
+                let rem = toots % samples;
+                for j in 0..samples {
+                    epoch += 1;
+                    let mut dead_step = home_step;
+                    let mut picked = 0usize;
+                    // The attempt guard mirrors the reference engine: a
+                    // capacity profile with fewer than `target` positive
+                    // entries must terminate with a short replica set.
+                    let mut guard = 0usize;
+                    while picked < target && guard < 64 * target.max(1) {
+                        let cand = sampler.sample(&mut rng) as usize;
+                        guard += 1;
+                        if stamp[cand] != epoch {
+                            stamp[cand] = epoch;
+                            picked += 1;
+                            let s = steps[cand] as usize;
+                            if s > dead_step {
+                                dead_step = s;
+                            }
+                        }
+                    }
+                    if dead_step <= n_steps {
+                        death[dead_step] += base + u64::from(j < rem);
+                    }
+                }
+            }
+        }
+        death
+    });
+    let mut death = vec![0u64; n_steps + 2];
+    for h in partials {
+        for (acc, v) in death.iter_mut().zip(&h) {
+            *acc += v;
+        }
+    }
+    let total = view.total_toots.max(1) as f64;
+    let death_f: Vec<f64> = death.iter().map(|&v| v as f64).collect();
+    crate::eval::fold_availability(&death_f, n_steps, total)
+}
+
+/// The pre-rewrite engine, kept verbatim as the differential baseline:
+/// cumulative-sum binary-search sampling with linear-`contains`
+/// rejection, one global RNG stream, fractional per-sample weights, one
+/// serial pass over the whole population. Statistically equivalent to
+/// [`weighted_random_curve`] (both sample the same placement
+/// distribution); not bit-equal — the samplers consume randomness
+/// differently.
+pub fn weighted_random_curve_reference(
+    view: &ContentView,
+    capacities: &[f64],
+    n: usize,
+    groups: &[Vec<u32>],
+    toot_cap: u32,
+    seed: u64,
+) -> Vec<AvailabilityPoint> {
+    assert_eq!(capacities.len(), view.n_instances, "capacity length");
+    struct WeightedSampler {
+        cum: Vec<f64>,
+    }
+    impl WeightedSampler {
+        fn new(weights: &[f64]) -> Self {
+            let mut cum = Vec::with_capacity(weights.len());
+            let mut acc = 0.0;
+            for &w in weights {
+                acc += w.max(0.0);
+                cum.push(acc);
+            }
+            assert!(acc > 0.0, "weights must not all be zero");
+            Self { cum }
+        }
+        fn sample<R: Rng>(&self, rng: &mut R) -> u32 {
+            let x = rng.gen::<f64>() * self.cum.last().unwrap();
+            self.cum.partition_point(|&c| c < x).min(self.cum.len() - 1) as u32
+        }
+    }
     let sampler = WeightedSampler::new(capacities);
     let mut steps = vec![usize::MAX; view.n_instances];
     for (g, members) in groups.iter().enumerate() {
@@ -103,6 +279,44 @@ mod tests {
     }
 
     #[test]
+    fn alias_table_matches_weights_statistically() {
+        let weights = [1.0f64, 0.0, 3.0, 6.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u64; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        // zero-weight bucket is never drawn
+        assert_eq!(counts[1], 0);
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / total;
+            let got = counts[i] as f64 / draws as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "bucket {i}: got {got}, expect {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn alias_table_uniform_is_uniform() {
+        let table = AliasTable::new(&[2.5; 8]);
+        // every acceptance probability is exactly 1: the first draw wins
+        for p in &table.prob {
+            assert_eq!(*p, 1.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not all be zero")]
+    fn alias_table_rejects_all_zero() {
+        let _ = AliasTable::new(&[0.0, -1.0]);
+    }
+
+    #[test]
     fn uniform_capacity_matches_uniform_random() {
         let v = view();
         let order: Vec<u32> = (0..v.n_instances as u32).collect();
@@ -115,6 +329,41 @@ mod tests {
                 (weighted[k].availability - uniform[k].availability).abs() < 0.06,
                 "k={k}"
             );
+        }
+    }
+
+    #[test]
+    fn differential_against_reference_engine() {
+        // Same distributionally — the alias/stamped engine and the kept
+        // reference must agree within Monte-Carlo noise on small worlds,
+        // across capacity profiles.
+        let v = view();
+        let order: Vec<u32> = (0..12u32).collect();
+        let groups = singleton_groups(&order);
+        for (caps, label) in [
+            (vec![1.0; v.n_instances], "uniform"),
+            (
+                (0..v.n_instances).map(|i| 1.0 + (i % 7) as f64).collect::<Vec<_>>(),
+                "mild skew",
+            ),
+            (
+                (0..v.n_instances)
+                    .map(|i| if i < 6 { 0.01 } else { 2.0 })
+                    .collect::<Vec<_>>(),
+                "victims starved",
+            ),
+        ] {
+            let fast = weighted_random_curve(&v, &caps, 2, &groups, 48, 23);
+            let reference = weighted_random_curve_reference(&v, &caps, 2, &groups, 48, 23);
+            assert_eq!(fast.len(), reference.len());
+            for k in 0..fast.len() {
+                assert!(
+                    (fast[k].availability - reference[k].availability).abs() < 0.05,
+                    "{label} k={k}: fast {} vs reference {}",
+                    fast[k].availability,
+                    reference[k].availability
+                );
+            }
         }
     }
 
@@ -152,9 +401,82 @@ mod tests {
     }
 
     #[test]
+    fn shard_count_invariant() {
+        let v = view();
+        let order: Vec<u32> = (0..14u32).collect();
+        let groups = singleton_groups(&order);
+        let caps: Vec<f64> = (0..v.n_instances).map(|i| 0.5 + (i % 5) as f64).collect();
+        let one = weighted_random_curve_chunked(&v, &caps, 2, &groups, 16, 99, usize::MAX);
+        let many = weighted_random_curve_chunked(&v, &caps, 2, &groups, 16, 99, 13);
+        let tiny = weighted_random_curve_chunked(&v, &caps, 2, &groups, 16, 99, 1);
+        assert_eq!(one, many);
+        assert_eq!(one, tiny);
+    }
+
+    #[test]
+    fn removing_everything_loses_everything() {
+        // Integral weights must cover every toot: removing all instances
+        // drives availability exactly to zero.
+        let v = view();
+        let all: Vec<u32> = (0..v.n_instances as u32).collect();
+        let groups = singleton_groups(&all);
+        let caps: Vec<f64> = (0..v.n_instances).map(|i| 1.0 + (i % 3) as f64).collect();
+        let curve = weighted_random_curve(&v, &caps, 3, &groups, 8, 5);
+        assert!(
+            curve.last().unwrap().availability.abs() < 1e-12,
+            "all mass must be lost: {}",
+            curve.last().unwrap().availability
+        );
+    }
+
+    #[test]
     #[should_panic(expected = "capacity length")]
     fn wrong_capacity_length_panics() {
         let v = view();
         let _ = weighted_random_curve(&v, &[1.0], 2, &[vec![0]], 8, 1);
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use crate::eval::singleton_groups;
+    use fediscope_worldgen::{Generator, WorldConfig};
+    use proptest::prelude::*;
+
+    fn tiny_view(seed: u64) -> ContentView {
+        let mut cfg = WorldConfig::tiny(seed);
+        cfg.n_instances = 20;
+        cfg.n_users = 250;
+        ContentView::from_world(&Generator::generate_world(cfg))
+    }
+
+    proptest! {
+        /// Shard layout never changes the curve (same seed discipline as
+        /// the uniform Monte-Carlo shard-invariance proptest).
+        #[test]
+        fn weighted_curve_shard_invariance(
+            seed in 0u64..500,
+            mc_seed in any::<u64>(),
+            k in 1usize..16,
+            chunk in 1usize..48,
+            cap_kind in 0usize..3,
+        ) {
+            let v = tiny_view(seed);
+            let caps: Vec<f64> = match cap_kind {
+                0 => vec![1.0; v.n_instances],
+                1 => (0..v.n_instances).map(|i| 1.0 + (i % 4) as f64).collect(),
+                _ => (0..v.n_instances)
+                    .map(|i| if i % 3 == 0 { 0.0 } else { 2.0 })
+                    .collect(),
+            };
+            let order: Vec<u32> = (0..k as u32).collect();
+            let groups = singleton_groups(&order);
+            let sharded =
+                weighted_random_curve_chunked(&v, &caps, 2, &groups, 8, mc_seed, chunk);
+            let serial =
+                weighted_random_curve_chunked(&v, &caps, 2, &groups, 8, mc_seed, usize::MAX);
+            prop_assert_eq!(sharded, serial);
+        }
     }
 }
