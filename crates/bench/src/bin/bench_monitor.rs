@@ -1,0 +1,300 @@
+//! `bench_monitor` — pin the columnar §4 telemetry engine's speedup and
+//! record trajectory points in `BENCH_monitor.json` (one JSON object per
+//! line, appended — the file is a history, not a snapshot).
+//!
+//! ```text
+//! bench_monitor [--quick] [--seed N] [--out PATH]
+//!               [--tier paper2019|mid|modern] [--threads N]
+//! ```
+//!
+//! Two engines run the **combined §4 workload** — Fig. 7 (lifetime
+//! downtime + exposure), Fig. 8 (full-resolution daily downtime +
+//! correlation), Fig. 10 (outage durations + worst-day blackout), and
+//! Table 1 (AS co-failures) — and must produce bit-identical output:
+//!
+//! 1. **naive** — `fediscope_monitor::naive_section4`: the kept
+//!    per-schedule reference, five separate walks over the
+//!    `Vec<AvailabilitySchedule>` list, including the seed
+//!    `O(days · instances · outages)` whole-day blackout rescan;
+//! 2. **columnar** — `MonitorSweep` over the `OutageArena`: one sharded
+//!    pass over flat interval columns, integer accumulators merged in
+//!    shard order (`--threads N` pins the shard budget; output is
+//!    identical at any setting).
+//!
+//! With `--tier`, the named [`ScaleTier`] world runs with the paper's
+//! Table 1 threshold; the `modern` tier (30k instances × the 15-month
+//! 5-minute-poll window) must clear the **≥5x** acceptance floor over the
+//! naive path. Without `--tier`, a paper-2019-scale world runs (shrunk
+//! under `--quick` for CI smoke runs; identity is enforced in every mode).
+
+use fediscope_graph::par;
+use fediscope_model::schedule::OutageArena;
+use fediscope_monitor::{naive_section4, MonitorSweep, SweepConfig};
+use fediscope_worldgen::{Generator, ScaleTier, WorldConfig};
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    out: String,
+    tier: Option<ScaleTier>,
+    threads: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        seed: 42,
+        out: "BENCH_monitor.json".to_string(),
+        tier: None,
+        threads: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => a.quick = true,
+            "--seed" => {
+                a.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--out" => a.out = it.next().expect("--out needs a path"),
+            "--tier" => {
+                let name = it.next().expect("--tier needs a name");
+                a.tier = Some(
+                    ScaleTier::parse(&name)
+                        .unwrap_or_else(|| panic!("unknown tier {name:?} (paper2019|mid|modern)")),
+                );
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+                assert!(t >= 1, "--threads must be at least 1");
+                a.threads = Some(t);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_monitor [--quick] [--seed N] [--out PATH] \
+                     [--tier paper2019|mid|modern] [--threads N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    a
+}
+
+/// Best-of-`trials` wall time of `f`, in seconds.
+fn time(trials: usize, f: &dyn Fn()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// Append one JSON line to the trajectory file (and echo it to stdout).
+fn record(out: &str, json: &str) {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out)
+        .expect("open BENCH_monitor.json");
+    writeln!(f, "{json}").expect("append BENCH_monitor.json");
+    println!("{json}");
+}
+
+fn main() {
+    let args = parse_args();
+    par::set_thread_override(args.threads);
+    let threads = par::thread_budget();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!("shard workers: {threads} (machine offers {cores})");
+    let mode = if args.quick { "quick" } else { "full" };
+    let trials = if args.quick { 3 } else { 5 };
+
+    let (cfg, tier_name) = match args.tier {
+        Some(tier) => (WorldConfig::for_tier(tier, args.seed), Some(tier.name())),
+        None => {
+            let mut cfg = if args.quick {
+                WorldConfig::small(args.seed)
+            } else {
+                WorldConfig::paper_scaled(args.seed)
+            };
+            // §4 never touches the follower graph; a lean user table keeps
+            // world generation out of the measurement's way.
+            cfg.n_users = cfg.n_users.min(30_000);
+            cfg.twitter_users = 1_000;
+            (cfg, None)
+        }
+    };
+    let min_as_instances = match args.tier {
+        Some(tier) => tier.table1_min_instances(),
+        None => {
+            if cfg.n_instances >= 2000 {
+                8
+            } else {
+                3
+            }
+        }
+    };
+    eprintln!(
+        "generating world ({} instances, {} users) …",
+        cfg.n_instances, cfg.n_users
+    );
+    let t0 = Instant::now();
+    let world = Generator::generate_world(cfg);
+    let gen_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let arena = OutageArena::from_schedules(&world.schedules);
+    let arena_build_s = t0.elapsed().as_secs_f64();
+    eprintln!(
+        "world ready in {gen_s:.1}s: {} instances, {} outage intervals \
+         (arena built in {arena_build_s:.3}s)",
+        arena.len(),
+        arena.n_outages()
+    );
+
+    let sweep_cfg = SweepConfig {
+        day_stride: 1,
+        min_as_instances,
+    };
+    let naive_f =
+        || naive_section4(&world.instances, &world.schedules, &world.providers, &sweep_cfg);
+    let columnar_f = || {
+        MonitorSweep::new(&arena, &world.instances)
+            .with_shards(threads)
+            .run(&world.providers, &sweep_cfg)
+    };
+
+    if std::env::var_os("BENCH_MONITOR_BREAKDOWN").is_some() {
+        use fediscope_monitor::asn::{as_failure_table, as_failure_table_arena};
+        use fediscope_monitor::daily::{daily_downtime, size_downtime_correlation};
+        use fediscope_monitor::downtime::{downtime_report, failure_exposure};
+        use fediscope_monitor::outages::{outage_durations, worst_day_blackout};
+        let w = &world;
+        let t = |label: &str, f: &dyn Fn()| {
+            eprintln!("  {label}: {:.4}s", time(trials, f));
+        };
+        eprintln!("naive breakdown:");
+        t("downtime_report", &|| {
+            std::hint::black_box(downtime_report(&w.schedules));
+        });
+        t("failure_exposure", &|| {
+            std::hint::black_box(failure_exposure(&w.instances, &w.schedules));
+        });
+        t("daily_downtime", &|| {
+            std::hint::black_box(daily_downtime(&w.instances, &w.schedules, 1));
+        });
+        t("size_correlation", &|| {
+            std::hint::black_box(size_downtime_correlation(&w.instances, &w.schedules));
+        });
+        t("outage_durations", &|| {
+            std::hint::black_box(outage_durations(&w.instances, &w.schedules));
+        });
+        t("worst_day_blackout", &|| {
+            std::hint::black_box(worst_day_blackout(&w.instances, &w.schedules));
+        });
+        t("as_failure_table", &|| {
+            std::hint::black_box(as_failure_table(
+                &w.instances,
+                &w.schedules,
+                &w.providers,
+                min_as_instances,
+            ));
+        });
+        eprintln!("columnar breakdown:");
+        t("as_failure_table_arena", &|| {
+            std::hint::black_box(as_failure_table_arena(
+                &w.instances,
+                &arena,
+                &w.providers,
+                min_as_instances,
+            ));
+        });
+        use fediscope_monitor::daily::{daily_downtime_arena, size_downtime_correlation_arena};
+        use fediscope_monitor::downtime::downtime_report_arena;
+        use fediscope_monitor::outages::{outage_durations_arena, worst_day_blackout_arena};
+        t("downtime_report_arena", &|| {
+            std::hint::black_box(downtime_report_arena(&arena));
+        });
+        t("daily_downtime_arena", &|| {
+            std::hint::black_box(daily_downtime_arena(&w.instances, &arena, 1));
+        });
+        t("size_correlation_arena", &|| {
+            std::hint::black_box(size_downtime_correlation_arena(&w.instances, &arena));
+        });
+        t("outage_durations_arena", &|| {
+            std::hint::black_box(outage_durations_arena(&w.instances, &arena));
+        });
+        t("worst_day_blackout_arena", &|| {
+            std::hint::black_box(worst_day_blackout_arena(&w.instances, &arena));
+        });
+    }
+
+    let expect = naive_f();
+    let identical = columnar_f() == expect;
+    if identical {
+        eprintln!("identity check passed (naive == columnar at {threads} shards)");
+    } else {
+        eprintln!("FAIL — engines diverged");
+    }
+
+    let columnar_s = time(trials, &|| {
+        std::hint::black_box(columnar_f());
+    });
+    let naive_s = time(trials, &|| {
+        std::hint::black_box(naive_f());
+    });
+    let speedup = naive_s / columnar_s;
+    eprintln!(
+        "section4 combined: columnar {columnar_s:.4}s, naive {naive_s:.4}s ({speedup:.1}x)"
+    );
+
+    record(
+        &args.out,
+        &format!(
+            "{{\"bench\":\"monitor_section4\",\"tier\":{tier},\"mode\":\"{mode}\",\
+             \"threads\":{threads},\"cores\":{cores},\
+             \"instances\":{inst},\"outages\":{outages},\"window_days\":472,\
+             \"min_as_instances\":{min_as},\"seed\":{seed},\
+             \"gen_seconds\":{gen_s:.3},\"arena_build_seconds\":{arena_build_s:.6},\
+             \"naive_seconds\":{naive_s:.6},\"columnar_seconds\":{columnar_s:.6},\
+             \"speedup\":{speedup:.2},\"identical_output\":{identical}}}",
+            tier = tier_name
+                .map(|t| format!("\"{t}\""))
+                .unwrap_or_else(|| "null".to_string()),
+            inst = arena.len(),
+            outages = arena.n_outages(),
+            min_as = min_as_instances,
+            seed = args.seed,
+        ),
+    );
+
+    let mut fail = false;
+    if !identical {
+        eprintln!("FAIL: columnar sweep diverged from the naive reference");
+        fail = true;
+    }
+    // the ≥5x acceptance floor rides the modern tier (the structural win —
+    // the blackout rescan collapsing to O(outages + days) — needs enough
+    // days × instances to dominate; smaller quick runs only record).
+    if args.tier == Some(ScaleTier::Modern) && speedup < 5.0 {
+        eprintln!("FAIL: modern-tier speedup {speedup:.1}x below the 5x acceptance floor");
+        fail = true;
+    }
+    if fail {
+        std::process::exit(1);
+    }
+}

@@ -74,19 +74,15 @@ fn main() {
     println!("{}", report::render_fig04(&population::fig04_policies(&obs)));
     println!("{}", report::render_fig05(&population::fig05_hosting(&obs)));
     println!("{}", report::render_fig06(&population::fig06_country_links(&obs)));
-    println!("{}", report::render_fig07(&availability::fig07_downtime(&obs)));
-    println!(
-        "{}",
-        // stride 1: the interval-walking collector makes full-resolution
-        // Fig. 8 cheap — no day subsampling needed
-        report::render_fig08(&availability::fig08_daily_downtime(&obs, 1))
-    );
+    // Figs. 7, 8, 10 + Table 1 come out of ONE sharded pass over the
+    // columnar outage arena (stride 1: the interval walk makes
+    // full-resolution Fig. 8 cheap — no day subsampling needed).
+    let s4 = availability::section4_sweep(&obs, table1_min, 1);
+    println!("{}", report::render_fig07(&s4.fig07));
+    println!("{}", report::render_fig08(&s4.fig08));
     println!("{}", report::render_fig09(&availability::fig09_certificates(&obs)));
-    println!(
-        "{}",
-        report::render_table1(&availability::table1_as_failures(&obs, table1_min))
-    );
-    println!("{}", report::render_fig10(&availability::fig10_outages(&obs)));
+    println!("{}", report::render_table1(&s4.table1));
+    println!("{}", report::render_fig10(&s4.fig10));
     println!("{}", report::render_fig11(&graphs::fig11_degrees(&obs)));
     println!("{}", report::render_table2(&graphs::table2_top_instances(&obs)));
     if !fast {

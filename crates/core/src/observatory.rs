@@ -1,6 +1,7 @@
 //! The observatory: a world plus lazily derived analysis artefacts.
 
 use fediscope_graph::{DiGraph, GraphBuilder};
+use fediscope_model::schedule::OutageArena;
 use fediscope_model::world::World;
 use fediscope_replication::ContentView;
 use std::sync::OnceLock;
@@ -32,6 +33,7 @@ pub struct Observatory {
     twitter_graph: OnceLock<DiGraph>,
     content_view: OnceLock<ContentView>,
     remote_toots: OnceLock<Vec<u64>>,
+    outage_arena: OnceLock<OutageArena>,
 }
 
 impl Observatory {
@@ -48,6 +50,7 @@ impl Observatory {
             twitter_graph: OnceLock::new(),
             content_view: OnceLock::new(),
             remote_toots: OnceLock::new(),
+            outage_arena: OnceLock::new(),
         }
     }
 
@@ -88,6 +91,13 @@ impl Observatory {
     pub fn content_view(&self) -> &ContentView {
         self.content_view
             .get_or_init(|| ContentView::from_world(&self.world))
+    }
+
+    /// The columnar outage arena backing the §4 telemetry sweep (built
+    /// once from the ground-truth schedules).
+    pub fn outage_arena(&self) -> &OutageArena {
+        self.outage_arena
+            .get_or_init(|| OutageArena::from_schedules(&self.world.schedules))
     }
 
     /// Remote (replicated-in) toot volume per instance: public toots of

@@ -136,6 +136,21 @@ impl ScaleTier {
             ScaleTier::Modern => 150,
         }
     }
+
+    /// Table 1 membership threshold: the paper only reports ASes hosting
+    /// at least 8 instances. Hosting concentration persists at every tier,
+    /// so the absolute threshold carries over unchanged.
+    pub fn table1_min_instances(self) -> usize {
+        8
+    }
+
+    /// Fig. 8 day-sampling stride for this tier's §4 sweep. The columnar
+    /// interval walk is `O(days + outages)` per instance, cheap enough
+    /// that every tier — including the 30k-instance modern observatory —
+    /// pools every instance-day sample (stride 1).
+    pub fn fig08_day_stride(self) -> u32 {
+        1
+    }
 }
 
 impl std::fmt::Display for ScaleTier {
@@ -184,6 +199,8 @@ mod tests {
             assert!(tier.fig15_max_ases() <= tier.n_providers());
             assert!(tier.fig16_max_instances() > 0);
             assert!(tier.fig16_max_instances() <= tier.n_instances());
+            assert_eq!(tier.table1_min_instances(), 8);
+            assert!(tier.fig08_day_stride() >= 1);
         }
     }
 

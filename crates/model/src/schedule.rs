@@ -221,6 +221,284 @@ impl AvailabilitySchedule {
     }
 }
 
+/// Columnar interval store for a whole instance population — the §4
+/// telemetry engine's backing structure.
+///
+/// [`AvailabilitySchedule`] is the right shape for *building* one
+/// instance's history (its `add_outage` merges and clips), but a
+/// population-wide analysis pass over `Vec<AvailabilitySchedule>` chases a
+/// heap pointer per instance. The arena lays the same information out as
+/// CSR-by-instance columns:
+///
+/// ```text
+///             offsets:  [0,      3,    3,         7, ...]   (n + 1)
+///             starts:   [s s s | · · | s s s s | ...]
+///             ends:     [e e e | · · | e e e e | ...]
+///             causes:   [c c c | · · | c c c c | ...]
+///  per-instance birth:  [b b b b ...]                       (n)
+///  per-instance death:  [d d d d ...]                       (n)
+/// ```
+///
+/// so a sweep streams sequentially through flat `u32` columns, and an
+/// instance's history is a pair of slices ([`ScheduleView`]) rather than an
+/// owned struct. Invariants per instance: outages sorted, strictly
+/// separated (a ≥1-epoch up gap between consecutive outages), and clipped
+/// to `[birth, death)` — the same invariants `AvailabilitySchedule`
+/// maintains, enforced by [`OutageArenaBuilder`].
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct OutageArena {
+    /// CSR offsets into the interval columns, length `len() + 1`.
+    offsets: Vec<u32>,
+    /// First unavailable epoch per interval.
+    starts: Vec<Epoch>,
+    /// First available epoch after each interval.
+    ends: Vec<Epoch>,
+    /// Ground-truth (or reconstructed) cause per interval.
+    causes: Vec<OutageCause>,
+    /// First epoch of existence per instance.
+    birth: Vec<Epoch>,
+    /// One-past-the-end epoch of existence per instance.
+    death: Vec<Epoch>,
+}
+
+impl OutageArena {
+    /// Start building an arena, with capacity hints.
+    pub fn builder(n_instances: usize, n_outages: usize) -> OutageArenaBuilder {
+        OutageArenaBuilder {
+            arena: OutageArena {
+                offsets: Vec::with_capacity(n_instances + 1),
+                starts: Vec::with_capacity(n_outages),
+                ends: Vec::with_capacity(n_outages),
+                causes: Vec::with_capacity(n_outages),
+                birth: Vec::with_capacity(n_instances),
+                death: Vec::with_capacity(n_instances),
+            },
+        }
+    }
+
+    /// Build from borrowed schedules (instance order preserved).
+    pub fn from_schedules(schedules: &[AvailabilitySchedule]) -> Self {
+        let n_outages = schedules.iter().map(|s| s.outage_count()).sum();
+        let mut b = Self::builder(schedules.len(), n_outages);
+        for s in schedules {
+            b.push_schedule(s);
+        }
+        b.finish()
+    }
+
+    /// Build by draining a schedule stream: each schedule's intervals are
+    /// appended to the columns and the schedule is dropped before the next
+    /// one is pulled, so the peak cost is the arena plus one schedule.
+    pub fn from_schedule_iter(schedules: impl IntoIterator<Item = AvailabilitySchedule>) -> Self {
+        let iter = schedules.into_iter();
+        let mut b = Self::builder(iter.size_hint().0, 0);
+        for s in iter {
+            b.push_schedule(&s);
+        }
+        b.finish()
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.birth.len()
+    }
+
+    /// True when the arena holds no instances.
+    pub fn is_empty(&self) -> bool {
+        self.birth.is_empty()
+    }
+
+    /// Total interval count across all instances.
+    pub fn n_outages(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Borrowed view of one instance's history.
+    pub fn view(&self, i: usize) -> ScheduleView<'_> {
+        let lo = self.offsets[i] as usize;
+        let hi = self.offsets[i + 1] as usize;
+        ScheduleView {
+            birth: self.birth[i],
+            death: self.death[i],
+            starts: &self.starts[lo..hi],
+            ends: &self.ends[lo..hi],
+            causes: &self.causes[lo..hi],
+        }
+    }
+
+    /// Views of every instance, in instance order.
+    pub fn views(&self) -> impl Iterator<Item = ScheduleView<'_>> {
+        (0..self.len()).map(|i| self.view(i))
+    }
+}
+
+/// Streaming builder for [`OutageArena`]: push instances in order, then
+/// intervals for the *current* instance in ascending order.
+#[derive(Debug)]
+pub struct OutageArenaBuilder {
+    arena: OutageArena,
+}
+
+impl OutageArenaBuilder {
+    /// Begin the next instance with lifetime `[birth, death)`. Returns its
+    /// index.
+    pub fn push_instance(&mut self, birth: Epoch, death: Epoch) -> usize {
+        assert!(birth.0 <= death.0, "birth after death");
+        self.arena.birth.push(birth);
+        self.arena.death.push(death);
+        self.arena.offsets.push(self.arena.starts.len() as u32);
+        self.arena.birth.len() - 1
+    }
+
+    /// Append one outage to the most recently pushed instance. Intervals
+    /// must arrive sorted, strictly separated (`start > previous end`), and
+    /// inside the instance lifetime — the invariants every
+    /// [`AvailabilitySchedule`] already guarantees.
+    pub fn push_outage(&mut self, start: Epoch, end: Epoch, cause: OutageCause) {
+        let i = self.arena.birth.len().checked_sub(1).expect("no instance pushed");
+        assert!(start.0 < end.0, "empty outage");
+        assert!(
+            start.0 >= self.arena.birth[i].0 && end.0 <= self.arena.death[i].0,
+            "outage outside lifetime"
+        );
+        let lo = self.arena.offsets[i] as usize;
+        if let Some(prev_end) = self.arena.ends.get(lo..).and_then(|s| s.last()) {
+            assert!(start.0 > prev_end.0, "outages must be strictly separated");
+        }
+        self.arena.starts.push(start);
+        self.arena.ends.push(end);
+        self.arena.causes.push(cause);
+    }
+
+    /// Append a whole schedule as the next instance.
+    pub fn push_schedule(&mut self, s: &AvailabilitySchedule) {
+        self.push_instance(s.birth_epoch(), s.death_epoch());
+        for o in s.outages() {
+            self.push_outage(o.start, o.end, o.cause);
+        }
+    }
+
+    /// Finish: seal the offsets and return the arena.
+    pub fn finish(mut self) -> OutageArena {
+        self.arena.offsets.push(self.arena.starts.len() as u32);
+        // The builder pushes one offset *before* each instance's intervals
+        // plus the final seal, so offsets[i] is the start of instance i's
+        // range and offsets[i+1] its end.
+        debug_assert_eq!(self.arena.offsets.len(), self.arena.birth.len() + 1);
+        self.arena
+    }
+}
+
+/// Borrowed per-instance availability history — the arena-side equivalent
+/// of [`AvailabilitySchedule`]. Every query below evaluates the *same
+/// expressions* as its schedule counterpart, so derived floats are
+/// bit-identical between the two representations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScheduleView<'a> {
+    /// First epoch of existence.
+    pub birth: Epoch,
+    /// One-past-the-end epoch of existence.
+    pub death: Epoch,
+    /// Outage start epochs (sorted, strictly separated).
+    pub starts: &'a [Epoch],
+    /// Outage end epochs (aligned with `starts`).
+    pub ends: &'a [Epoch],
+    /// Outage causes (aligned with `starts`).
+    pub causes: &'a [OutageCause],
+}
+
+impl ScheduleView<'_> {
+    /// Lifetime length in epochs.
+    pub fn lifetime_epochs(&self) -> u32 {
+        self.death.0.saturating_sub(self.birth.0)
+    }
+
+    /// Number of distinct outages.
+    pub fn outage_count(&self) -> usize {
+        self.starts.len()
+    }
+
+    /// Reassemble outage `k` as an owned [`Outage`].
+    pub fn outage(&self, k: usize) -> Outage {
+        Outage {
+            start: self.starts[k],
+            end: self.ends[k],
+            cause: self.causes[k],
+        }
+    }
+
+    /// Does the instance exist (created, not retired) at `t`?
+    pub fn exists_at(&self, t: Epoch) -> bool {
+        t >= self.birth && t < self.death
+    }
+
+    /// Is the instance reachable at `t`? (exists and not in an outage)
+    pub fn is_up(&self, t: Epoch) -> bool {
+        if !self.exists_at(t) {
+            return false;
+        }
+        let idx = self.starts.partition_point(|s| s.0 <= t.0);
+        if idx == 0 {
+            return true;
+        }
+        t.0 >= self.ends[idx - 1].0
+    }
+
+    /// Number of down epochs within `[from, to)`, counting only epochs
+    /// where the instance exists. Mirrors
+    /// [`AvailabilitySchedule::down_epochs_in`].
+    pub fn down_epochs_in(&self, from: Epoch, to: Epoch) -> u32 {
+        let lo = from.0.max(self.birth.0);
+        let hi = to.0.min(self.death.0);
+        if lo >= hi {
+            return 0;
+        }
+        let mut down = 0;
+        for (s, e) in self.starts.iter().zip(self.ends.iter()) {
+            if e.0 <= lo {
+                continue;
+            }
+            if s.0 >= hi {
+                break;
+            }
+            down += e.0.min(hi) - s.0.max(lo);
+        }
+        down
+    }
+
+    /// Number of existing epochs within `[from, to)`.
+    pub fn live_epochs_in(&self, from: Epoch, to: Epoch) -> u32 {
+        let lo = from.0.max(self.birth.0);
+        let hi = to.0.min(self.death.0);
+        hi.saturating_sub(lo)
+    }
+
+    /// Lifetime downtime fraction (0 for instances with zero lifetime).
+    pub fn downtime_fraction(&self) -> f64 {
+        let life = self.lifetime_epochs();
+        if life == 0 {
+            return 0.0;
+        }
+        self.down_epochs_in(self.birth, self.death) as f64 / life as f64
+    }
+
+    /// Downtime fraction for one day; `None` if the instance does not exist
+    /// for any part of that day.
+    pub fn daily_downtime(&self, day: Day) -> Option<f64> {
+        let live = self.live_epochs_in(day.start_epoch(), day.end_epoch());
+        if live == 0 {
+            return None;
+        }
+        let down = self.down_epochs_in(day.start_epoch(), day.end_epoch());
+        Some(down as f64 / live as f64)
+    }
+
+    /// Whether the instance is down for the entirety of `day`.
+    pub fn down_whole_day(&self, day: Day) -> bool {
+        self.daily_downtime(day) == Some(1.0)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -345,6 +623,76 @@ mod tests {
         s.add_outage(Epoch(5), Epoch(5), OutageCause::Organic);
         assert_eq!(s.outage_count(), 0);
     }
+
+    #[test]
+    fn arena_round_trips_schedules() {
+        let mut a = AvailabilitySchedule::new(Day(0), None);
+        a.add_outage(Epoch(100), Epoch(200), OutageCause::Organic);
+        a.add_outage(Epoch(500), Epoch(900), OutageCause::CertExpiry);
+        let b = AvailabilitySchedule::new(Day(3), Some(Day(40)));
+        let mut c = AvailabilitySchedule::new(Day(10), Some(Day(20)));
+        c.add_outage(Epoch(0), Epoch(WINDOW_EPOCHS), OutageCause::AsFailure);
+        let schedules = vec![a, b, c];
+
+        let arena = OutageArena::from_schedules(&schedules);
+        assert_eq!(arena.len(), 3);
+        assert_eq!(arena.n_outages(), 3);
+        for (s, v) in schedules.iter().zip(arena.views()) {
+            assert_eq!(v.birth, s.birth_epoch());
+            assert_eq!(v.death, s.death_epoch());
+            assert_eq!(v.outage_count(), s.outage_count());
+            for (k, o) in s.outages().iter().enumerate() {
+                assert_eq!(v.outage(k), *o);
+            }
+            assert_eq!(v.downtime_fraction(), s.downtime_fraction());
+        }
+        // the draining constructor builds the identical arena
+        assert_eq!(OutageArena::from_schedule_iter(schedules), arena);
+    }
+
+    #[test]
+    fn empty_arena() {
+        let arena = OutageArena::from_schedules(&[]);
+        assert!(arena.is_empty());
+        assert_eq!(arena.len(), 0);
+        assert_eq!(arena.n_outages(), 0);
+        assert_eq!(arena.views().count(), 0);
+    }
+
+    #[test]
+    fn view_queries_match_schedule_queries() {
+        let mut s = AvailabilitySchedule::new(Day(2), Some(Day(9)));
+        s.add_outage(Epoch(600), Epoch(700), OutageCause::Organic);
+        s.add_outage(Epoch(900), Epoch(1400), OutageCause::Organic);
+        let arena = OutageArena::from_schedules(std::slice::from_ref(&s));
+        let v = arena.view(0);
+        assert_eq!(v.lifetime_epochs(), s.lifetime_epochs());
+        for e in [0u32, 576, 599, 600, 650, 700, 899, 1000, 1399, 1400, 2600] {
+            assert_eq!(v.is_up(Epoch(e)), s.is_up(Epoch(e)), "epoch {e}");
+            assert_eq!(v.exists_at(Epoch(e)), s.exists_at(Epoch(e)), "epoch {e}");
+        }
+        for d in 0..12u32 {
+            assert_eq!(v.daily_downtime(Day(d)), s.daily_downtime(Day(d)), "day {d}");
+            assert_eq!(v.down_whole_day(Day(d)), s.down_whole_day(Day(d)), "day {d}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly separated")]
+    fn builder_rejects_adjacent_outages() {
+        let mut b = OutageArena::builder(1, 2);
+        b.push_instance(Epoch(0), Epoch(1000));
+        b.push_outage(Epoch(10), Epoch(20), OutageCause::Organic);
+        b.push_outage(Epoch(20), Epoch(30), OutageCause::Organic);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside lifetime")]
+    fn builder_rejects_outage_outside_lifetime() {
+        let mut b = OutageArena::builder(1, 1);
+        b.push_instance(Epoch(100), Epoch(200));
+        b.push_outage(Epoch(50), Epoch(150), OutageCause::Organic);
+    }
 }
 
 #[cfg(test)]
@@ -380,6 +728,49 @@ mod prop_tests {
             // dense equivalence
             let got = dense(&s, 2048);
             prop_assert_eq!(got, reference);
+        }
+
+        /// Arena views answer `down_epochs_in` / `daily_downtime` (and the
+        /// derived lifetime fraction) bit-identically to the schedules they
+        /// were built from, over random interval soups and random query
+        /// ranges.
+        #[test]
+        fn arena_matches_schedule_queries(
+            per_inst in proptest::collection::vec(
+                // retirement day, with values ≥ 472 decoding to "never"
+                (0u32..470, 0u32..900,
+                 proptest::collection::vec((0u32..135_000, 1u32..4_000), 0..12)),
+                0..8),
+            from in 0u32..WINDOW_EPOCHS, to in 0u32..WINDOW_EPOCHS,
+            day in 0u32..472
+        ) {
+            let mut schedules = Vec::new();
+            for (created, retired, ivs) in per_inst {
+                let retired = (retired < 472).then(|| Day(created.max(retired)));
+                let mut s = AvailabilitySchedule::new(Day(created), retired);
+                for &(start, len) in &ivs {
+                    s.add_outage(Epoch(start), Epoch(start + len), OutageCause::Organic);
+                }
+                schedules.push(s);
+            }
+            let arena = OutageArena::from_schedules(&schedules);
+            prop_assert_eq!(arena.len(), schedules.len());
+            for (s, v) in schedules.iter().zip(arena.views()) {
+                prop_assert_eq!(
+                    v.down_epochs_in(Epoch(from), Epoch(to)),
+                    s.down_epochs_in(Epoch(from), Epoch(to))
+                );
+                prop_assert_eq!(
+                    v.live_epochs_in(Epoch(from), Epoch(to)),
+                    s.live_epochs_in(Epoch(from), Epoch(to))
+                );
+                prop_assert_eq!(v.daily_downtime(Day(day)), s.daily_downtime(Day(day)));
+                // bit-identical, not approximately equal
+                prop_assert_eq!(
+                    v.downtime_fraction().to_bits(),
+                    s.downtime_fraction().to_bits()
+                );
+            }
         }
 
         /// down + up epochs == live epochs over any range.

@@ -7,8 +7,8 @@
 //! good predictor of availability".
 
 use fediscope_model::instance::Instance;
-use fediscope_model::schedule::AvailabilitySchedule;
-use fediscope_model::time::{Day, WINDOW_DAYS};
+use fediscope_model::schedule::{AvailabilitySchedule, OutageArena};
+use fediscope_model::time::{Day, EPOCHS_PER_DAY, WINDOW_DAYS};
 use fediscope_stats::{pearson, BoxStats};
 
 /// The four Fig. 8 size bins.
@@ -61,7 +61,7 @@ impl SizeBin {
 }
 
 /// Pooled per-day downtime samples per bin, plus overall.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DailyDowntime {
     /// `(bin, samples)` in figure order; samples are instance-day downtime
     /// fractions.
@@ -88,6 +88,128 @@ impl DailyDowntime {
     }
 }
 
+/// Walk one instance's existing days with an outage cursor, emitting the
+/// per-day downtime fraction for each day the instance exists.
+///
+/// This is the shared `O(days + outages)` kernel behind [`daily_downtime`],
+/// [`daily_downtime_arena`], and `sweep::MonitorSweep` — outage bounds come
+/// through the `bound` accessor so the walk is agnostic about whether the
+/// intervals live in an [`AvailabilitySchedule`]'s `Vec<Outage>` or in the
+/// [`OutageArena`]'s flat columns. Every emitted fraction is computed with
+/// the exact expression `AvailabilitySchedule::daily_downtime` uses, so
+/// all callers produce bit-identical samples.
+pub(crate) fn daily_walk(
+    birth: u32,
+    death: u32,
+    n_outages: usize,
+    bound: impl Fn(usize) -> (u32, u32),
+    day_stride: u32,
+    mut emit: impl FnMut(f64),
+) {
+    let mut cursor = 0usize; // first outage that can still affect a day
+    let mut d = 0;
+    while d < WINDOW_DAYS {
+        let day = Day(d);
+        let lo = day.start_epoch().0.max(birth);
+        let hi = day.end_epoch().0.min(death);
+        if lo < hi {
+            // outages ending at or before this day's start are behind
+            // every remaining day (days advance monotonically)
+            while cursor < n_outages && bound(cursor).1 <= lo {
+                cursor += 1;
+            }
+            let mut down = 0u32;
+            let mut k = cursor;
+            while k < n_outages {
+                let (start, end) = bound(k);
+                if start >= hi {
+                    break;
+                }
+                down += end.min(hi) - start.max(lo);
+                k += 1;
+            }
+            emit(down as f64 / (hi - lo) as f64);
+        }
+        d += day_stride;
+    }
+}
+
+/// Run-length daily downtime fold: like [`daily_walk`] but day-runs with a
+/// *uniform* fraction (0.0 between outages, 1.0 inside a multi-day outage)
+/// come out as one `emit_run(frac, sampled_day_count)` call instead of one
+/// call per day, so the cost is `O(outage-boundary days + runs)` rather
+/// than `O(days)` per instance. Only days where an outage starts or ends
+/// (or a lifetime boundary cuts the day) compute a division — with the
+/// **identical** accumulation order and expression as the per-day walk, so
+/// emitted samples are bit-identical to [`daily_walk`]'s:
+///
+/// - gap days have `down == 0`, and the walk's `0 / live` is exactly `0.0`;
+/// - interior days of a multi-day outage have `down == live`, and
+///   `live / live` is exactly `1.0`;
+/// - boundary days sum the same clipped integer contributions in the same
+///   outage order before the one division.
+pub(crate) fn daily_runs(
+    birth: u32,
+    death: u32,
+    n_outages: usize,
+    bound: impl Fn(usize) -> (u32, u32),
+    stride: u32,
+    mut emit_run: impl FnMut(f64, usize),
+) {
+    if birth >= death {
+        return;
+    }
+    let e = EPOCHS_PER_DAY;
+    let first_day = birth / e;
+    let last_day = (death - 1) / e; // inclusive
+    // sampled days (d % stride == 0) in [a, b)
+    let samples_in = |a: u32, b: u32| -> usize {
+        if a >= b {
+            0
+        } else {
+            (b.div_ceil(stride) - a.div_ceil(stride)) as usize
+        }
+    };
+    let mut d = first_day;
+    let mut pending = 0u32; // down epochs accumulated for day `d`
+    macro_rules! flush {
+        () => {
+            if d % stride == 0 {
+                let lo = (d * e).max(birth);
+                let hi = ((d + 1) * e).min(death);
+                emit_run(pending as f64 / (hi - lo) as f64, 1);
+            }
+        };
+    }
+    for k in 0..n_outages {
+        let (start, end) = bound(k);
+        let s_day = start / e;
+        let e_day = (end - 1) / e;
+        if s_day > d {
+            flush!();
+            pending = 0;
+            emit_run(0.0, samples_in(d + 1, s_day));
+            d = s_day;
+        }
+        if e_day == d {
+            pending += end - start;
+        } else {
+            // head fragment closes out day d …
+            pending += (d + 1) * e - start;
+            flush!();
+            // … interior days are fully dark …
+            emit_run(1.0, samples_in(d + 1, e_day));
+            // … tail fragment opens day e_day
+            d = e_day;
+            pending = end - e_day * e;
+        }
+    }
+    flush!();
+    if d < last_day {
+        emit_run(0.0, samples_in(d + 1, last_day + 1));
+    }
+}
+
 /// Collect instance-day downtime samples. `day_stride` subsamples days
 /// (1 = every day; kept for compatibility — the interval walk below is
 /// cheap enough that Fig. 8 no longer needs subsampling at full scale).
@@ -106,33 +228,51 @@ pub fn daily_downtime(
     let mut overall = Vec::new();
     for (inst, sched) in instances.iter().zip(schedules) {
         let samples = &mut bins[SizeBin::of(inst.toot_count).index()];
-        let birth = sched.birth_epoch().0;
-        let death = sched.death_epoch().0;
         let outages = sched.outages();
-        let mut cursor = 0usize; // first outage that can still affect a day
-        let mut d = 0;
-        while d < WINDOW_DAYS {
-            let day = Day(d);
-            let lo = day.start_epoch().0.max(birth);
-            let hi = day.end_epoch().0.min(death);
-            if lo < hi {
-                // outages ending at or before this day's start are behind
-                // every remaining day (days advance monotonically)
-                while cursor < outages.len() && outages[cursor].end.0 <= lo {
-                    cursor += 1;
-                }
-                let mut down = 0u32;
-                let mut k = cursor;
-                while k < outages.len() && outages[k].start.0 < hi {
-                    down += outages[k].end.0.min(hi) - outages[k].start.0.max(lo);
-                    k += 1;
-                }
-                let frac = down as f64 / (hi - lo) as f64;
+        daily_walk(
+            sched.birth_epoch().0,
+            sched.death_epoch().0,
+            outages.len(),
+            |k| (outages[k].start.0, outages[k].end.0),
+            day_stride,
+            |frac| {
                 samples.push(frac);
                 overall.push(frac);
-            }
-            d += day_stride;
-        }
+            },
+        );
+    }
+    let mut bins = bins.into_iter();
+    let per_bin = SizeBin::ALL
+        .iter()
+        .map(|&b| (b, bins.next().unwrap()))
+        .collect();
+    DailyDowntime { per_bin, overall }
+}
+
+/// [`daily_downtime`] over the columnar [`OutageArena`]: identical samples
+/// via the run-length fold ([`daily_runs`]), read from flat interval
+/// columns instead of per-instance `Vec`s.
+pub fn daily_downtime_arena(
+    instances: &[Instance],
+    arena: &OutageArena,
+    day_stride: u32,
+) -> DailyDowntime {
+    assert!(day_stride >= 1);
+    let mut bins: [Vec<f64>; 4] = [Vec::new(), Vec::new(), Vec::new(), Vec::new()];
+    let mut overall = Vec::new();
+    for (inst, v) in instances.iter().zip(arena.views()) {
+        let samples = &mut bins[SizeBin::of(inst.toot_count).index()];
+        daily_runs(
+            v.birth.0,
+            v.death.0,
+            v.outage_count(),
+            |k| (v.starts[k].0, v.ends[k].0),
+            day_stride,
+            |frac, count| {
+                samples.resize(samples.len() + count, frac);
+                overall.resize(overall.len() + count, frac);
+            },
+        );
     }
     let mut bins = bins.into_iter();
     let per_bin = SizeBin::ALL
@@ -155,6 +295,23 @@ pub fn size_downtime_correlation(
         }
         toots.push(inst.toot_count as f64);
         down.push(sched.downtime_fraction());
+    }
+    pearson(&toots, &down)
+}
+
+/// [`size_downtime_correlation`] over the columnar [`OutageArena`].
+pub fn size_downtime_correlation_arena(
+    instances: &[Instance],
+    arena: &OutageArena,
+) -> Option<f64> {
+    let mut toots = Vec::new();
+    let mut down = Vec::new();
+    for (inst, v) in instances.iter().zip(arena.views()) {
+        if v.lifetime_epochs() == 0 {
+            continue;
+        }
+        toots.push(inst.toot_count as f64);
+        down.push(v.downtime_fraction());
     }
     pearson(&toots, &down)
 }
@@ -284,10 +441,73 @@ mod tests {
     }
 
     #[test]
+    fn arena_run_fold_matches_per_day_walk() {
+        use fediscope_model::schedule::OutageArena;
+        // mixed lifetimes, sub-day blips, multi-day and month-long outages,
+        // outage chains sharing boundary days — across several strides the
+        // run-length arena fold must equal the per-day schedule walk
+        // bit-for-bit.
+        let instances = vec![
+            mk_inst(0, 100),
+            mk_inst(1, 50_000),
+            mk_inst(2, 500_000),
+            mk_inst(3, 2_000_000),
+        ];
+        let mut s0 = AvailabilitySchedule::new(Day(3), Some(Day(200)));
+        s0.add_outage(
+            Epoch(Day(5).start_epoch().0 + 7),
+            Epoch(Day(5).start_epoch().0 + 19),
+            OutageCause::Organic,
+        );
+        s0.add_outage(Day(40).start_epoch(), Day(43).start_epoch(), OutageCause::AsFailure);
+        s0.add_outage(
+            Epoch(Day(43).start_epoch().0 + 10),
+            Epoch(Day(43).start_epoch().0 + 20),
+            OutageCause::Organic,
+        );
+        let mut s1 = AvailabilitySchedule::always_up();
+        for k in 0..40u32 {
+            let start = k * 3000 + 13;
+            s1.add_outage(Epoch(start), Epoch(start + 290), OutageCause::Organic);
+        }
+        let mut s2 = AvailabilitySchedule::new(Day(100), None);
+        s2.add_outage(Epoch(0), Epoch(u32::MAX / 2), OutageCause::CertExpiry);
+        let mut s3 = AvailabilitySchedule::always_up();
+        s3.add_outage(
+            Epoch(Day(9).start_epoch().0 + 100),
+            Epoch(Day(47).start_epoch().0 + 3),
+            OutageCause::Organic,
+        );
+        let schedules = vec![s0, s1, s2, s3];
+        let arena = OutageArena::from_schedules(&schedules);
+        for stride in [1u32, 7, 30] {
+            let naive = daily_downtime(&instances, &schedules, stride);
+            let got = daily_downtime_arena(&instances, &arena, stride);
+            assert_eq!(got, naive, "stride {stride}");
+        }
+    }
+
+    #[test]
     fn bin_index_matches_all_order() {
         for (i, b) in SizeBin::ALL.iter().enumerate() {
             assert_eq!(b.index(), i);
         }
+    }
+
+    #[test]
+    fn correlation_arena_matches_naive_on_generated_world() {
+        use fediscope_model::schedule::OutageArena;
+        use fediscope_worldgen::{Generator, WorldConfig};
+        let mut cfg = WorldConfig::tiny(59);
+        cfg.n_instances = 250;
+        cfg.n_users = 1_500;
+        let w = Generator::generate_world(cfg);
+        let arena = OutageArena::from_schedules(&w.schedules);
+        let naive = size_downtime_correlation(&w.instances, &w.schedules);
+        let got = size_downtime_correlation_arena(&w.instances, &arena);
+        // bit-identical: same input vectors in the same order
+        assert_eq!(got.map(f64::to_bits), naive.map(f64::to_bits));
+        assert!(naive.is_some());
     }
 
     #[test]

@@ -11,7 +11,15 @@
 //! - [`outages`]: continuous-outage durations and worst-day impact
 //!   (Fig. 10),
 //! - [`asn`]: AS-wide co-failure detection (Table 1),
-//! - [`certs`]: certificate-expiry attribution (Fig. 9).
+//! - [`certs`]: certificate-expiry attribution (Fig. 9),
+//! - [`sweep`]: the columnar engine — one sharded pass over an
+//!   [`fediscope_model::schedule::OutageArena`] folds Figs. 7, 8, 10, the
+//!   worst-day blackout, and Table 1 at once, bit-identical to the naive
+//!   per-schedule path at any shard count.
+//!
+//! Each analysis module exposes both the kept per-schedule function and an
+//! `*_arena` variant reading the flat interval columns; [`sweep`] fuses
+//! the arena variants into the single production pass.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -22,3 +30,6 @@ pub mod daily;
 pub mod downtime;
 pub mod observe;
 pub mod outages;
+pub mod sweep;
+
+pub use sweep::{naive_section4, MonitorSweep, SweepConfig, SweepOutput};

@@ -8,19 +8,47 @@
 //! [`crate::certs`] and [`crate::asn`]).
 
 use fediscope_model::datasets::ObservedSeries;
-use fediscope_model::schedule::{AvailabilitySchedule, OutageCause};
+use fediscope_model::schedule::{AvailabilitySchedule, OutageArena, OutageCause};
 use fediscope_model::time::{Day, Epoch};
 
-/// Rebuild a schedule from a poll series.
+/// Reusable scratch for batch reconstruction: holds one instance's
+/// reconstructed lifetime and outage intervals so the arena path never
+/// allocates per instance.
+#[derive(Debug, Default)]
+pub struct PollScratch {
+    /// Reconstructed outage intervals, sorted and strictly separated.
+    intervals: Vec<(Epoch, Epoch)>,
+    /// Reconstructed creation day.
+    created: Day,
+    /// Reconstructed retirement day, if the series implies one.
+    retired: Option<Day>,
+}
+
+impl PollScratch {
+    /// Reconstructed lifetime as `[birth, death)` epochs (the same mapping
+    /// [`AvailabilitySchedule`] applies to its `created`/`retired` days).
+    fn lifetime(&self) -> (Epoch, Epoch) {
+        let birth = self.created.start_epoch();
+        let death = self
+            .retired
+            .map(|d| d.start_epoch())
+            .unwrap_or(Epoch(fediscope_model::time::WINDOW_EPOCHS));
+        (birth, death)
+    }
+}
+
+/// The shared reconstruction core: decode one poll series into `scratch`.
+/// Returns `false` (scratch untouched beyond clearing) for an empty series.
 ///
 /// Semantics: a run of consecutive `Down` polls becomes one outage spanning
 /// from the first down poll to the next up poll (exclusive). The instance's
 /// lifetime is taken as `[first poll day, one-past-last poll day)`; a series
 /// that *ends* down is treated as retired at its last up poll (the paper
 /// excludes "persistently failed instances" from outage statistics).
-pub fn schedule_from_polls(series: &ObservedSeries) -> Option<AvailabilitySchedule> {
+fn reconstruct_into(series: &ObservedSeries, scratch: &mut PollScratch) -> bool {
+    scratch.intervals.clear();
     if series.polls.is_empty() {
-        return None;
+        return false;
     }
     let first = series.polls.first().unwrap().0;
     let last = series.polls.last().unwrap().0;
@@ -38,8 +66,9 @@ pub fn schedule_from_polls(series: &ObservedSeries) -> Option<AvailabilitySchedu
         Some(up) if up < last => (up, Some(Day(up.day().0 + 1))),
         Some(_) => (last, None),
     };
+    scratch.created = first.day();
+    scratch.retired = retired;
 
-    let mut sched = AvailabilitySchedule::new(first.day(), retired);
     let mut down_since: Option<Epoch> = None;
     for &(epoch, ref result) in &series.polls {
         if epoch > lifetime_end {
@@ -47,13 +76,70 @@ pub fn schedule_from_polls(series: &ObservedSeries) -> Option<AvailabilitySchedu
         }
         if result.is_up() {
             if let Some(start) = down_since.take() {
-                sched.add_outage(start, epoch, OutageCause::Organic);
+                scratch.intervals.push((start, epoch));
             }
         } else if down_since.is_none() {
             down_since = Some(epoch);
         }
     }
+    true
+}
+
+/// Rebuild a schedule from a poll series (see [`reconstruct_into`] for the
+/// semantics; `None` for an empty series).
+pub fn schedule_from_polls(series: &ObservedSeries) -> Option<AvailabilitySchedule> {
+    let mut scratch = PollScratch::default();
+    if !reconstruct_into(series, &mut scratch) {
+        return None;
+    }
+    let mut sched = AvailabilitySchedule::new(scratch.created, scratch.retired);
+    for &(start, end) in &scratch.intervals {
+        sched.add_outage(start, end, OutageCause::Organic);
+    }
     Some(sched)
+}
+
+/// Batch reconstruction: one schedule per input series, in input order.
+/// Empty series become zero-lifetime schedules (created and retired on day
+/// 0) so the output stays aligned with the instance list — they contribute
+/// nothing to any §4 statistic.
+pub fn schedules_from_polls(series: &[ObservedSeries]) -> Vec<AvailabilitySchedule> {
+    series
+        .iter()
+        .map(|s| {
+            schedule_from_polls(s)
+                .unwrap_or_else(|| AvailabilitySchedule::new(Day(0), Some(Day(0))))
+        })
+        .collect()
+}
+
+/// Stream a batch of poll series straight into a columnar [`OutageArena`]:
+/// one reusable [`PollScratch`] feeds the arena builder, so reconstruction
+/// of an entire observatory allocates nothing per instance beyond the
+/// arena's own columns. The result equals
+/// `OutageArena::from_schedules(&schedules_from_polls(series))`.
+pub fn arena_from_polls(series: &[ObservedSeries]) -> OutageArena {
+    let mut scratch = PollScratch::default();
+    let mut b = OutageArena::builder(series.len(), 0);
+    for s in series {
+        if reconstruct_into(s, &mut scratch) {
+            let (birth, death) = scratch.lifetime();
+            b.push_instance(birth, death);
+            for &(start, end) in &scratch.intervals {
+                // clip to the lifetime exactly as `add_outage` would (a
+                // trailing-down run never reaches here, but an interval can
+                // butt against a mid-window retirement boundary)
+                let lo = start.0.max(birth.0);
+                let hi = end.0.min(death.0);
+                if lo < hi {
+                    b.push_outage(Epoch(lo), Epoch(hi), OutageCause::Organic);
+                }
+            }
+        } else {
+            b.push_instance(Epoch(0), Epoch(0));
+        }
+    }
+    b.finish()
 }
 
 /// Observed downtime fraction over the polled portion of the lifetime.
@@ -142,5 +228,105 @@ mod tests {
         assert_eq!(sched.outages()[0].start, Epoch(10));
         assert_eq!(sched.outages()[1].start, Epoch(30));
         assert_eq!(sched.outages()[1].end, Epoch(50));
+    }
+
+    #[test]
+    fn batch_matches_single_and_feeds_arena() {
+        use fediscope_model::schedule::OutageArena;
+        let batch = vec![
+            series(vec![(0, true), (10, false), (20, true)]),
+            ObservedSeries::default(), // never polled
+            series(vec![(0, false), (5, false)]), // never up
+            series(vec![(300, true), (600, false), (900, false)]), // retires
+        ];
+        let schedules = schedules_from_polls(&batch);
+        assert_eq!(schedules.len(), batch.len());
+        for (s, sched) in batch.iter().zip(&schedules) {
+            match schedule_from_polls(s) {
+                Some(expect) => assert_eq!(*sched, expect),
+                None => assert_eq!(sched.lifetime_epochs(), 0),
+            }
+        }
+        // the streaming arena equals the schedule-built arena exactly
+        assert_eq!(
+            arena_from_polls(&batch),
+            OutageArena::from_schedules(&schedules)
+        );
+    }
+}
+
+#[cfg(test)]
+mod prop_tests {
+    use super::*;
+    use fediscope_model::datasets::{InstanceApiInfo, PollResult};
+    use fediscope_model::ids::InstanceId;
+    use fediscope_model::schedule::{OutageArena, OutageCause};
+    use fediscope_model::time::EPOCHS_PER_DAY;
+    use proptest::prelude::*;
+
+    fn up() -> PollResult {
+        PollResult::Up(InstanceApiInfo {
+            name: String::new(),
+            version: String::new(),
+            toots: 0,
+            users: 0,
+            subscriptions: 0,
+            logins: 0,
+            registration_open: true,
+        })
+    }
+
+    /// Poll a ground-truth schedule at every 5-minute epoch from its
+    /// creation day through `horizon_day` (retired instances keep getting
+    /// polled and answer Down, like the real monitor's seed list).
+    fn polls_of(s: &AvailabilitySchedule, horizon_day: u32) -> ObservedSeries {
+        let from = s.birth_epoch().0;
+        let to = horizon_day * EPOCHS_PER_DAY;
+        ObservedSeries {
+            instance: InstanceId(0),
+            polls: (from..to)
+                .map(|e| {
+                    let r = if s.is_up(Epoch(e)) { up() } else { PollResult::Down };
+                    (Epoch(e), r)
+                })
+                .collect(),
+        }
+    }
+
+    proptest! {
+        /// schedule → synthetic 5-minute polls → reconstruction preserves
+        /// the outage intervals and the retirement day, for any schedule
+        /// whose outages do not touch its end of life (a trailing outage is
+        /// *deliberately* folded into retirement by the monitor, per the
+        /// paper's "persistently failed instances" rule).
+        #[test]
+        fn poll_round_trip(
+            created in 0u32..8,
+            retired in 0u32..40,
+            ivs in proptest::collection::vec(
+                (0u32..20 * EPOCHS_PER_DAY, 1u32..2 * EPOCHS_PER_DAY), 0..8),
+        ) {
+            let retired = (10..24).contains(&retired).then(|| Day(created.max(retired)));
+            let mut truth = AvailabilitySchedule::new(Day(created), retired);
+            let death = truth.death_epoch().0.min(25 * EPOCHS_PER_DAY);
+            for &(start, len) in &ivs {
+                // keep a ≥1-epoch up run before end of life so the trailing
+                // run cannot be mistaken for retirement
+                let end = (start + len).min(death.saturating_sub(1));
+                truth.add_outage(Epoch(start), Epoch(end), OutageCause::Organic);
+            }
+            let series = polls_of(&truth, 25);
+            let got = schedule_from_polls(&series).unwrap();
+            prop_assert_eq!(got.created, truth.created);
+            prop_assert_eq!(got.retired, truth.retired);
+            prop_assert_eq!(got.outage_count(), truth.outage_count());
+            for (a, b) in got.outages().iter().zip(truth.outages()) {
+                prop_assert_eq!((a.start, a.end), (b.start, b.end));
+            }
+            // and the streaming arena path agrees with the schedule path
+            let batch = [series];
+            let arena = arena_from_polls(&batch);
+            prop_assert_eq!(arena, OutageArena::from_schedules(&[got]));
+        }
     }
 }

@@ -1,0 +1,469 @@
+//! The columnar §4 telemetry engine: **one sharded pass** over an
+//! [`OutageArena`] folds every availability figure at once.
+//!
+//! The seed pipeline walked the schedule list five times — Fig. 7
+//! (lifetime downtime + exposure), Fig. 8 (daily downtime), Fig. 10
+//! (outage durations), the worst-day blackout (a per-day × per-instance
+//! rescan), and Table 1 (AS co-failures). [`MonitorSweep::run`] replaces
+//! all of that with:
+//!
+//! 1. an **instance-sharded fold**: the instance range splits into
+//!    contiguous shards fanned out via `par::parallel_map`; each shard
+//!    streams its slice of the arena's flat interval columns once,
+//!    producing per-instance sample vectors (concatenated back in shard =
+//!    instance order) and integer (`u64`/`i64` epoch-and-toot)
+//!    accumulators (merged by exact addition) — so the merged output is
+//!    **bit-identical to the naive reference at any shard count**;
+//! 2. a **group-sharded fold** for Table 1: AS groups fan out across
+//!    threads, each running the same boundary-event sweep as the naive
+//!    detector.
+//!
+//! The worst-day blackout drops from `O(days · instances · outages)` to
+//! `O(outages + days)`: each outage range-adds its whole-day span into a
+//! per-day toot histogram (a difference array), and one scan replays the
+//! naive comparison — including its pinned first-worst-day tie-break.
+//!
+//! [`naive_section4`] keeps the per-schedule composition as the reference
+//! the differential tests and `bench_monitor` compare against.
+
+use crate::asn::{as_failure_table, as_failure_table_arena, AsFailureRow};
+use crate::daily::{daily_downtime, daily_runs, size_downtime_correlation, DailyDowntime, SizeBin};
+use crate::downtime::{downtime_report, failure_exposure, DowntimeReport, FailureExposure};
+use crate::outages::{
+    blackout_span_add, outage_durations, worst_day_blackout, worst_day_from_histogram,
+    DurationAcc, OutageDurations,
+};
+use fediscope_graph::par;
+use fediscope_model::geo::ProviderCatalog;
+use fediscope_model::instance::Instance;
+use fediscope_model::schedule::{AvailabilitySchedule, OutageArena};
+use fediscope_model::time::{Day, EPOCHS_PER_DAY, WINDOW_DAYS};
+use fediscope_stats::{pearson, Ecdf};
+
+/// Knobs shared by the sweep and the naive reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepConfig {
+    /// Fig. 8 day subsampling stride (1 = every day).
+    pub day_stride: u32,
+    /// Table 1 membership threshold (paper: ASes hosting ≥ 8 instances).
+    pub min_as_instances: usize,
+}
+
+impl Default for SweepConfig {
+    fn default() -> Self {
+        Self::for_tier(fediscope_model::scale::ScaleTier::Paper2019)
+    }
+}
+
+impl SweepConfig {
+    /// The tier's §4 knobs — [`fediscope_model::scale::ScaleTier`] is the
+    /// single source for the Table 1 threshold and the Fig. 8 stride
+    /// (identical across tiers today, but a future tier change lands in
+    /// one place).
+    pub fn for_tier(tier: fediscope_model::scale::ScaleTier) -> Self {
+        Self {
+            day_stride: tier.fig08_day_stride(),
+            min_as_instances: tier.table1_min_instances(),
+        }
+    }
+}
+
+/// Everything §4 needs (Figs. 7, 8, 10 + the blackout day + Table 1), in
+/// one comparable bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutput {
+    /// Fig. 7 blue line: per-instance lifetime downtime + its ECDF.
+    pub downtime: DowntimeReport,
+    /// Fig. 7 red lines: user/toot/boost exposure of failing instances.
+    pub exposure: FailureExposure,
+    /// Fig. 8: pooled instance-day downtime samples per size bin.
+    pub daily: DailyDowntime,
+    /// Fig. 8 inset: toot-count vs downtime correlation.
+    pub size_correlation: Option<f64>,
+    /// Fig. 10: continuous-outage durations and exposure.
+    pub outages: OutageDurations,
+    /// Worst whole-day blackout `(day, fraction of global toots)`.
+    pub worst_day: (Day, f64),
+    /// Table 1 rows.
+    pub as_table: Vec<AsFailureRow>,
+}
+
+/// The columnar §4 engine. Borrow an arena and the instance table, pick a
+/// shard budget, [`run`](Self::run).
+pub struct MonitorSweep<'a> {
+    arena: &'a OutageArena,
+    instances: &'a [Instance],
+    shards: Option<usize>,
+}
+
+/// Per-shard accumulator. Sample vectors are per-instance-ordered within
+/// the shard; integer counters merge exactly.
+struct ShardAcc {
+    fraction: Vec<Option<f64>>,
+    exp_users: Vec<f64>,
+    exp_toots: Vec<f64>,
+    exp_boosts: Vec<f64>,
+    bins: [Vec<f64>; 4],
+    overall: Vec<f64>,
+    corr_toots: Vec<f64>,
+    corr_down: Vec<f64>,
+    durations: DurationAcc,
+    black_diff: Vec<i64>,
+}
+
+impl ShardAcc {
+    fn new() -> Self {
+        Self {
+            fraction: Vec::new(),
+            exp_users: Vec::new(),
+            exp_toots: Vec::new(),
+            exp_boosts: Vec::new(),
+            bins: [Vec::new(), Vec::new(), Vec::new(), Vec::new()],
+            overall: Vec::new(),
+            corr_toots: Vec::new(),
+            corr_down: Vec::new(),
+            durations: DurationAcc::default(),
+            black_diff: vec![0i64; WINDOW_DAYS as usize + 1],
+        }
+    }
+}
+
+impl<'a> MonitorSweep<'a> {
+    /// New sweep over `arena` (one entry per instance, aligned with
+    /// `instances`).
+    pub fn new(arena: &'a OutageArena, instances: &'a [Instance]) -> Self {
+        assert_eq!(
+            arena.len(),
+            instances.len(),
+            "arena/instances length mismatch"
+        );
+        Self {
+            arena,
+            instances,
+            shards: None,
+        }
+    }
+
+    /// Pin the shard count (default: `par::thread_budget()`). Output is
+    /// bit-identical at any value; this only affects scheduling.
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        assert!(shards >= 1, "at least one shard");
+        self.shards = Some(shards);
+        self
+    }
+
+    /// Fold the whole §4 workload out of one pass over the arena.
+    pub fn run(&self, providers: &ProviderCatalog, cfg: &SweepConfig) -> SweepOutput {
+        assert!(cfg.day_stride >= 1);
+        let n = self.instances.len();
+        let shards = self.shards.unwrap_or_else(par::thread_budget).max(1);
+        let chunk = n.div_ceil(shards.min(n.max(1)).max(1)).max(1);
+        let ranges: Vec<(usize, usize)> = (0..n)
+            .step_by(chunk)
+            .map(|lo| (lo, (lo + chunk).min(n)))
+            .collect();
+
+        let accs = par::parallel_map(&ranges, |&(lo, hi)| self.fold_range(lo, hi, cfg.day_stride));
+        let as_table =
+            as_failure_table_arena(self.instances, self.arena, providers, cfg.min_as_instances);
+        self.merge(accs, as_table)
+    }
+
+    /// Stream one contiguous instance range through every per-instance
+    /// figure fold.
+    fn fold_range(&self, lo: usize, hi: usize, day_stride: u32) -> ShardAcc {
+        let mut acc = ShardAcc::new();
+        // Exact reservations from the arena's geometry: sample counts per
+        // bin (one per sampled live day) and one duration per interval.
+        acc.fraction.reserve(hi - lo);
+        let mut n_outages = 0usize;
+        let mut bin_days = [0usize; 4];
+        for i in lo..hi {
+            let v = self.arena.view(i);
+            n_outages += v.outage_count();
+            if v.birth.0 < v.death.0 {
+                let first = v.birth.0 / EPOCHS_PER_DAY;
+                let last = (v.death.0 - 1) / EPOCHS_PER_DAY + 1;
+                let sampled =
+                    (last.div_ceil(day_stride) - first.div_ceil(day_stride)) as usize;
+                bin_days[SizeBin::of(self.instances[i].toot_count).index()] += sampled;
+            }
+        }
+        acc.durations.durations.reserve(n_outages);
+        acc.overall.reserve(bin_days.iter().sum());
+        for (b, days) in acc.bins.iter_mut().zip(bin_days) {
+            b.reserve(days);
+        }
+
+        for i in lo..hi {
+            let v = self.arena.view(i);
+            let inst = &self.instances[i];
+            let life = v.lifetime_epochs();
+            // One interval-column scan serves Fig. 7's fraction and the
+            // correlation input (the expression is pure, so reusing the
+            // value is bit-identical to naive's two evaluations).
+            let downtime_fraction = v.downtime_fraction();
+
+            // Fig. 7: lifetime downtime fraction (same ≥1-day guard as
+            // `downtime_report`) and failure exposure.
+            acc.fraction
+                .push((life >= EPOCHS_PER_DAY).then_some(downtime_fraction));
+            if v.outage_count() > 0 {
+                acc.exp_users.push(inst.user_count as f64);
+                acc.exp_toots.push(inst.toot_count as f64);
+                acc.exp_boosts.push(inst.boosted_toots as f64);
+            }
+
+            // Fig. 8: daily samples via the run-length interval fold
+            // (never per-day interval queries).
+            let samples = &mut acc.bins[SizeBin::of(inst.toot_count).index()];
+            let overall = &mut acc.overall;
+            daily_runs(
+                v.birth.0,
+                v.death.0,
+                v.outage_count(),
+                |k| (v.starts[k].0, v.ends[k].0),
+                day_stride,
+                |frac, count| {
+                    if count == 1 {
+                        samples.push(frac);
+                        overall.push(frac);
+                    } else {
+                        samples.resize(samples.len() + count, frac);
+                        overall.resize(overall.len() + count, frac);
+                    }
+                },
+            );
+
+            // Fig. 8 inset: correlation inputs (same guard as
+            // `size_downtime_correlation`).
+            if life != 0 {
+                acc.corr_toots.push(inst.toot_count as f64);
+                acc.corr_down.push(downtime_fraction);
+            }
+
+            // Fig. 10: durations + integer day/month classification.
+            acc.durations.fold_instance(
+                inst,
+                life,
+                v.starts.iter().zip(v.ends.iter()).map(|(s, e)| e.0 - s.0),
+            );
+
+            // Blackout: per-outage whole-day span range-adds.
+            for (s, e) in v.starts.iter().zip(v.ends.iter()) {
+                blackout_span_add(
+                    &mut acc.black_diff,
+                    v.birth.0,
+                    v.death.0,
+                    s.0,
+                    e.0,
+                    inst.toot_count,
+                );
+            }
+        }
+        acc
+    }
+
+    /// Merge shard accumulators in shard order (= instance order) and
+    /// finalise every figure. The first shard's vectors are *moved* (at
+    /// one shard no sample byte is copied); later shards append in order.
+    fn merge(&self, accs: Vec<ShardAcc>, as_table: Vec<AsFailureRow>) -> SweepOutput {
+        let mut accs = accs.into_iter();
+        let first = accs.next().unwrap_or_else(ShardAcc::new);
+        let ShardAcc {
+            mut fraction,
+            mut exp_users,
+            mut exp_toots,
+            mut exp_boosts,
+            mut bins,
+            mut overall,
+            mut corr_toots,
+            mut corr_down,
+            mut durations,
+            mut black_diff,
+        } = first;
+        for acc in accs {
+            fraction.extend(acc.fraction);
+            exp_users.extend(acc.exp_users);
+            exp_toots.extend(acc.exp_toots);
+            exp_boosts.extend(acc.exp_boosts);
+            for (dst, src) in bins.iter_mut().zip(acc.bins) {
+                dst.extend(src);
+            }
+            overall.extend(acc.overall);
+            corr_toots.extend(acc.corr_toots);
+            corr_down.extend(acc.corr_down);
+            durations.absorb(acc.durations);
+            for (dst, src) in black_diff.iter_mut().zip(acc.black_diff) {
+                *dst += src;
+            }
+        }
+
+        let cdf = Ecdf::new(fraction.iter().flatten().copied().collect());
+        let downtime = DowntimeReport { fraction, cdf };
+        let exposure = FailureExposure {
+            failing_instances: exp_users.len(),
+            users: Ecdf::new(exp_users),
+            toots: Ecdf::new(exp_toots),
+            boosts: Ecdf::new(exp_boosts),
+        };
+        let mut bins = bins.into_iter();
+        let daily = DailyDowntime {
+            per_bin: SizeBin::ALL
+                .iter()
+                .map(|&b| (b, bins.next().unwrap()))
+                .collect(),
+            overall,
+        };
+        let size_correlation = pearson(&corr_toots, &corr_down);
+
+        let total_toots: u64 = self.instances.iter().map(|i| i.toot_count).sum();
+        let mut dark = 0i64;
+        for d in black_diff.iter_mut() {
+            dark += *d;
+            *d = dark;
+        }
+        let worst_day = worst_day_from_histogram(&black_diff, total_toots);
+
+        SweepOutput {
+            downtime,
+            exposure,
+            daily,
+            size_correlation,
+            outages: durations.finish(),
+            worst_day,
+            as_table,
+        }
+    }
+}
+
+/// The kept naive §4 reference: the per-schedule module functions composed
+/// exactly as the pre-arena pipeline ran them, bundled into the same
+/// [`SweepOutput`] so differential tests and `bench_monitor` can compare
+/// the engines with one `==`.
+pub fn naive_section4(
+    instances: &[Instance],
+    schedules: &[AvailabilitySchedule],
+    providers: &ProviderCatalog,
+    cfg: &SweepConfig,
+) -> SweepOutput {
+    SweepOutput {
+        downtime: downtime_report(schedules),
+        exposure: failure_exposure(instances, schedules),
+        daily: daily_downtime(instances, schedules, cfg.day_stride),
+        size_correlation: size_downtime_correlation(instances, schedules),
+        outages: outage_durations(instances, schedules),
+        worst_day: worst_day_blackout(instances, schedules),
+        as_table: as_failure_table(instances, schedules, providers, cfg.min_as_instances),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fediscope_model::schedule::OutageCause;
+    use fediscope_model::time::Epoch;
+    use fediscope_worldgen::{Generator, WorldConfig};
+
+    #[test]
+    fn sweep_matches_naive_on_generated_world() {
+        let mut cfg = WorldConfig::tiny(31);
+        cfg.n_instances = 300;
+        cfg.n_users = 2_000;
+        let w = Generator::generate_world(cfg);
+        let arena = OutageArena::from_schedules(&w.schedules);
+        let sweep_cfg = SweepConfig {
+            day_stride: 1,
+            min_as_instances: 3,
+        };
+        let naive = naive_section4(&w.instances, &w.schedules, &w.providers, &sweep_cfg);
+        for shards in [1usize, 2, 3, 8] {
+            let got = MonitorSweep::new(&arena, &w.instances)
+                .with_shards(shards)
+                .run(&w.providers, &sweep_cfg);
+            assert!(got == naive, "diverged at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn sweep_matches_naive_with_stride() {
+        let mut cfg = WorldConfig::tiny(37);
+        cfg.n_instances = 150;
+        cfg.n_users = 1_000;
+        let w = Generator::generate_world(cfg);
+        let arena = OutageArena::from_schedules(&w.schedules);
+        let sweep_cfg = SweepConfig {
+            day_stride: 7,
+            min_as_instances: 2,
+        };
+        let naive = naive_section4(&w.instances, &w.schedules, &w.providers, &sweep_cfg);
+        let got = MonitorSweep::new(&arena, &w.instances)
+            .with_shards(4)
+            .run(&w.providers, &sweep_cfg);
+        assert!(got == naive);
+    }
+
+    #[test]
+    fn empty_world_sweep() {
+        let arena = OutageArena::from_schedules(&[]);
+        let providers = fediscope_model::geo::ProviderCatalog::with_tail(5);
+        let out = MonitorSweep::new(&arena, &[]).run(&providers, &SweepConfig::default());
+        assert!(out.downtime.cdf.is_empty());
+        assert_eq!(out.worst_day, (Day(0), 0.0));
+        assert!(out.as_table.is_empty());
+        assert_eq!(out.outages.any_outage_frac, 0.0);
+    }
+
+    #[test]
+    fn sweep_reproduces_blackout_tie_break() {
+        // Two equal-toot instances blacked out on different days: the
+        // sharded histogram fold must return the FIRST worst day, like the
+        // naive strictly-greater scan.
+        use fediscope_model::certs::{Certificate, CertificateAuthority};
+        use fediscope_model::geo::Country;
+        use fediscope_model::ids::{AsId, InstanceId};
+        use fediscope_model::instance::{OperatorKind, Registration, Software};
+        use fediscope_model::taxonomy::{CategorySet, PolicySet};
+        let mk = |i: u32| Instance {
+            id: InstanceId(i),
+            domain: format!("i{i}"),
+            software: Software::Mastodon,
+            registration: Registration::Open,
+            declares_categories: false,
+            categories: CategorySet::empty(),
+            policies: PolicySet::unstated(),
+            country: Country::Japan,
+            asn: AsId(1),
+            provider_index: 0,
+            ip: i,
+            certificate: Certificate {
+                ca: CertificateAuthority::LetsEncrypt,
+                issued: Day(0),
+                auto_renew: true,
+            },
+            created: Day(0),
+            operator: OperatorKind::Individual,
+            user_count: 1,
+            toot_count: 500,
+            boosted_toots: 0,
+            active_user_pct: 50.0,
+            crawl_allowed: true,
+            private_toot_frac: 0.0,
+        };
+        let instances = vec![mk(0), mk(1)];
+        let mut s0 = AvailabilitySchedule::always_up();
+        s0.add_outage(Day(200).start_epoch(), Day(201).start_epoch(), OutageCause::Organic);
+        let mut s1 = AvailabilitySchedule::always_up();
+        s1.add_outage(Epoch(Day(30).start_epoch().0), Day(31).start_epoch(), OutageCause::Organic);
+        let schedules = vec![s0, s1];
+        let providers = ProviderCatalog::with_tail(3);
+        let arena = OutageArena::from_schedules(&schedules);
+        for shards in [1usize, 2] {
+            let out = MonitorSweep::new(&arena, &instances)
+                .with_shards(shards)
+                .run(&providers, &SweepConfig::default());
+            assert_eq!(out.worst_day.0, Day(30), "shards {shards}");
+            assert!((out.worst_day.1 - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -18,7 +18,7 @@
 use crate::config::WorldConfig;
 use fediscope_model::ids::AsId;
 use fediscope_model::instance::Instance;
-use fediscope_model::schedule::{AvailabilitySchedule, OutageCause};
+use fediscope_model::schedule::{AvailabilitySchedule, OutageArena, OutageCause};
 use fediscope_model::time::{Day, Epoch, EPOCHS_PER_DAY, WINDOW_DAYS, WINDOW_EPOCHS};
 use rand::prelude::*;
 use rand_distr::{Distribution, LogNormal};
@@ -224,6 +224,28 @@ pub fn generate<R: Rng>(
     schedules
 }
 
+/// Generate straight into a columnar [`OutageArena`]: the same RNG streams
+/// and therefore bit-identical intervals as [`generate`], drained through
+/// the arena builder.
+///
+/// The intermediate per-instance schedules cannot be skipped entirely: the
+/// AS-wide failure plan splices co-failure intervals into *arbitrary*
+/// already-generated instances, which needs the mergeable
+/// [`AvailabilitySchedule`] representation before the columns are frozen.
+/// So the full schedule list is materialised once, then drained — each
+/// schedule's interval buffer is freed as its columns are appended, so the
+/// transient double-storage decays over the drain rather than persisting
+/// as a second full copy. (For a genuinely lazy source — e.g. per-instance
+/// poll reconstruction — `observe::arena_from_polls` holds only the arena
+/// plus one scratch schedule.)
+pub fn generate_arena<R: Rng>(
+    cfg: &WorldConfig,
+    instances: &mut [Instance],
+    rng: &mut R,
+) -> OutageArena {
+    OutageArena::from_schedule_iter(generate(cfg, instances, rng))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -376,5 +398,29 @@ mod tests {
         let (_, a) = build(23, 300);
         let (_, b) = build(23, 300);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arena_generation_matches_schedule_generation() {
+        let seed = 29;
+        let mut cfg = WorldConfig::tiny(seed);
+        cfg.n_instances = 400;
+        cfg.n_users = 2_000;
+        let providers = ProviderCatalog::with_tail(cfg.n_providers);
+        let mut r1 = StdRng::seed_from_u64(sub_seed(seed, 1));
+        let stage = crate::instances::generate(&cfg, &providers, &mut r1);
+        let mut instances = stage.instances;
+        let mut r2 = StdRng::seed_from_u64(sub_seed(seed, 2));
+        let _users = crate::users::generate(&cfg, &mut instances, &stage.popularity, &mut r2);
+
+        let mut instances_b = instances.clone();
+        let mut r4a = StdRng::seed_from_u64(sub_seed(seed, 4));
+        let schedules = generate(&cfg, &mut instances, &mut r4a);
+        let mut r4b = StdRng::seed_from_u64(sub_seed(seed, 4));
+        let arena = generate_arena(&cfg, &mut instances_b, &mut r4b);
+
+        assert_eq!(instances, instances_b, "cert-cohort rewrites must match");
+        assert_eq!(arena, OutageArena::from_schedules(&schedules));
+        assert_eq!(arena.len(), schedules.len());
     }
 }

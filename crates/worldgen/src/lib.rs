@@ -23,6 +23,13 @@
 //! Every constant is calibrated against a number quoted in the paper; see
 //! `DESIGN.md` §4 for the target list and the per-module doc comments for
 //! the specific citations.
+//!
+//! Beyond the pipeline, [`observatory`] replays a generated world's
+//! schedules as a mnm.social-style 5-minute poll feed (streaming, so even
+//! the 30k-instance modern tier's multi-billion-poll feed never
+//! materialises), and [`availability::generate_arena`] drains the schedule
+//! stream straight into a columnar `OutageArena` for the §4 telemetry
+//! engine.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -31,6 +38,7 @@ pub mod availability;
 pub mod config;
 pub mod growth;
 pub mod instances;
+pub mod observatory;
 pub mod pools;
 pub mod social;
 pub mod twitter;
