@@ -1,0 +1,210 @@
+//! `bench_wire` — pin the net stack's throughput: polls per second through
+//! the full wire path (deterministic executor → in-memory TCP → HTTP/1.1
+//! codec → simnet handler → retry engine) and record trajectory points in
+//! `BENCH_wire.json` (one JSON object per line, appended — the file is a
+//! history, not a snapshot).
+//!
+//! ```text
+//! bench_wire [--quick] [--seed N] [--out PATH] [--sweeps N]
+//! ```
+//!
+//! Two campaigns run, each twice on a *fresh* executor:
+//!
+//! 1. **clean** — `FaultPlan::default()` with `Politeness::fast()`: the raw
+//!    serve/encode/parse/join cost per poll;
+//! 2. **flaky** — `FaultPlan::flaky()` with `Politeness::hostile()`: the
+//!    same campaign with injected 500s/resets/429s/delays absorbed by the
+//!    retry engine, showing what robustness costs on the wire.
+//!
+//! The second run of each campaign is the **determinism gate**: a fresh
+//! runtime, listener, and injector must replay a byte-identical dataset
+//! (`identical_output` in the JSON line; the process exits non-zero when
+//! the gate fails).
+
+use fediscope_crawler::discovery::SeedList;
+use fediscope_crawler::monitor::InstanceMonitor;
+use fediscope_crawler::politeness::Politeness;
+use fediscope_model::datasets::InstancesDataset;
+use fediscope_model::time::Epoch;
+use fediscope_model::world::World;
+use fediscope_simnet::{launch, FaultPlan};
+use fediscope_worldgen::{Generator, WorldConfig};
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    out: String,
+    sweeps: Option<u32>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        seed: 42,
+        out: "BENCH_wire.json".to_string(),
+        sweeps: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => a.quick = true,
+            "--seed" => {
+                a.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--out" => a.out = it.next().expect("--out needs a path"),
+            "--sweeps" => {
+                a.sweeps = Some(
+                    it.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--sweeps needs a number"),
+                )
+            }
+            "--help" | "-h" => {
+                println!("usage: bench_wire [--quick] [--seed N] [--out PATH] [--sweeps N]");
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    a
+}
+
+/// One monitoring campaign on a fresh executor: `sweeps` full passes over
+/// the seed list, the virtual clock stepping 72 epochs between passes.
+/// Returns the dataset and the wall time of the crawl proper.
+fn campaign(
+    world: Arc<World>,
+    plan: FaultPlan,
+    injector_seed: u64,
+    politeness: Politeness,
+    sweeps: u32,
+) -> (InstancesDataset, f64) {
+    let rt = tokio::runtime::Runtime::new().expect("executor");
+    rt.block_on(async move {
+        let net = launch(world, plan, injector_seed).await.expect("launch");
+        let seeds = SeedList::for_simnet(&net.state.world, net.addr());
+        let mut monitor = InstanceMonitor::new(seeds, politeness);
+        let t0 = Instant::now();
+        for sweep in 0..sweeps {
+            let epoch = Epoch(sweep * 72);
+            net.state.clock.set(epoch);
+            monitor.poll_all(epoch).await;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let dataset = monitor.into_dataset();
+        net.shutdown().await;
+        (dataset, wall)
+    })
+}
+
+/// Append one JSON line to the trajectory file (and echo it to stdout).
+fn record(out: &str, json: &str) {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out)
+        .expect("open BENCH_wire.json");
+    writeln!(f, "{json}").expect("append BENCH_wire.json");
+    println!("{json}");
+}
+
+fn main() {
+    let args = parse_args();
+    let mode = if args.quick { "quick" } else { "full" };
+    let (n_instances, n_users, default_sweeps) =
+        if args.quick { (10, 200, 40) } else { (40, 800, 200) };
+    let sweeps = args.sweeps.unwrap_or(default_sweeps);
+
+    let mut cfg = WorldConfig::tiny(args.seed);
+    cfg.n_instances = n_instances;
+    cfg.n_users = n_users;
+    cfg.toots_per_user_open = 4.0;
+    cfg.toots_per_user_closed = 6.0;
+    let world = Arc::new(Generator::generate_world(cfg));
+    let polls = u64::from(sweeps) * world.instances.len() as u64;
+    eprintln!(
+        "world: {} instances, {} users; {sweeps} sweeps = {polls} polls per campaign",
+        world.instances.len(),
+        world.users.len()
+    );
+
+    // Each campaign runs twice on a fresh executor: best-of-2 for the
+    // throughput number, and the pair feeds the determinism gate.
+    let (clean_a, clean_s1) = campaign(
+        world.clone(),
+        FaultPlan::default(),
+        args.seed,
+        Politeness::fast(),
+        sweeps,
+    );
+    let (clean_b, clean_s2) = campaign(
+        world.clone(),
+        FaultPlan::default(),
+        args.seed,
+        Politeness::fast(),
+        sweeps,
+    );
+    let clean_s = clean_s1.min(clean_s2);
+
+    let (flaky_a, flaky_s1) = campaign(
+        world.clone(),
+        FaultPlan::flaky(),
+        args.seed,
+        Politeness::hostile(),
+        sweeps,
+    );
+    let (flaky_b, flaky_s2) = campaign(
+        world.clone(),
+        FaultPlan::flaky(),
+        args.seed,
+        Politeness::hostile(),
+        sweeps,
+    );
+    let flaky_s = flaky_s1.min(flaky_s2);
+
+    let identical = clean_a == clean_b && flaky_a == flaky_b;
+    // Flaky faults are all recoverable, so robustness must also mean the
+    // flaky transcript matches the clean one poll for poll.
+    let recovered = clean_a == flaky_a;
+    if identical {
+        eprintln!("determinism gate passed (fresh executors replayed identical datasets)");
+    } else {
+        eprintln!("FAIL — fresh executors diverged");
+    }
+    if !recovered {
+        eprintln!("FAIL — flaky campaign did not recover the clean transcript");
+    }
+
+    let clean_pps = polls as f64 / clean_s;
+    let flaky_pps = polls as f64 / flaky_s;
+    eprintln!(
+        "clean: {clean_s:.3}s ({clean_pps:.0} polls/s); \
+         flaky: {flaky_s:.3}s ({flaky_pps:.0} polls/s)"
+    );
+
+    record(
+        &args.out,
+        &format!(
+            "{{\"bench\":\"wire_polls\",\"mode\":\"{mode}\",\"seed\":{seed},\
+             \"instances\":{inst},\"sweeps\":{sweeps},\"polls\":{polls},\
+             \"clean_seconds\":{clean_s:.6},\"clean_polls_per_sec\":{clean_pps:.1},\
+             \"flaky_seconds\":{flaky_s:.6},\"flaky_polls_per_sec\":{flaky_pps:.1},\
+             \"identical_output\":{identical},\"flaky_recovers_clean\":{recovered}}}",
+            seed = args.seed,
+            inst = world.instances.len(),
+        ),
+    );
+
+    if !identical || !recovered {
+        std::process::exit(1);
+    }
+}

@@ -8,6 +8,7 @@
 
 use crate::discovery::{Seed, SeedList};
 use crate::politeness::Politeness;
+use crate::retry::{fetch_with_retry, FetchResult};
 use fediscope_httpwire::Client;
 use fediscope_model::datasets::GraphDataset;
 use fediscope_model::ids::{InstanceId, UserId};
@@ -56,31 +57,21 @@ pub async fn scrape_followers(
     dataset
 }
 
-/// GET with the standard transient-failure retry policy; `None` when the
+/// GET through the shared retry engine ([`crate::retry`]); `None` when the
 /// resource is unreachable or persistently failing.
 async fn get_with_retry(
     client: &Client,
     politeness: &Politeness,
     seed: &Seed,
+    user: UserId,
+    page: u64,
     path: &str,
 ) -> Option<String> {
-    for attempt in 0..=politeness.retries {
-        match client.get(seed.addr, &seed.domain, path).await {
-            Ok(resp) if resp.status.is_success() => return Some(resp.text()),
-            Ok(resp) if resp.status.0 == 500 || resp.status.0 == 429 => {
-                if attempt < politeness.retries {
-                    tokio::time::sleep(politeness.backoff_for(attempt)).await;
-                }
-            }
-            Ok(_) => return None,
-            Err(_) => {
-                if attempt < politeness.retries {
-                    tokio::time::sleep(politeness.backoff_for(attempt)).await;
-                }
-            }
-        }
+    let token = (u64::from(user.0) << 24) ^ page;
+    match fetch_with_retry(client, politeness, None, seed, token, path).await {
+        FetchResult::Ok(resp) => Some(resp.text()),
+        FetchResult::Denied(_) | FetchResult::Unreachable => None,
     }
-    None
 }
 
 /// Page through one user's follower list; returns follower user ids
@@ -95,7 +86,8 @@ pub async fn scrape_user(
     let mut page = 1u64;
     loop {
         let path = format!("/users/u{}/followers?page={page}", user.0);
-        let Some(body) = get_with_retry(client, politeness, seed, &path).await else {
+        let Some(body) = get_with_retry(client, politeness, seed, user, page, &path).await
+        else {
             return out;
         };
         let Some((items, next)) = parse_followers_page(&body) else {

@@ -11,7 +11,10 @@
 //!   artificial delays between API calls"),
 //! - [`followers`]: the follower-list scraper producing the *Graphs*
 //!   dataset,
-//! - [`politeness`]: concurrency limits, delays, retry/backoff.
+//! - [`politeness`]: concurrency limits, delays, retry/backoff/breaker
+//!   policy knobs,
+//! - [`retry`]: the shared retry engine — capped jittered backoff,
+//!   `retry-after`-honouring 429 handling, per-instance circuit breakers.
 //!
 //! Everything is cancellation-safe in the async-book sense: buffers and
 //! partial results live in owned collections, so dropping a crawl future
@@ -27,6 +30,8 @@ pub mod followers;
 pub mod monitor;
 pub mod politeness;
 #[cfg(feature = "net")]
+pub mod retry;
+#[cfg(feature = "net")]
 pub mod survey;
 #[cfg(feature = "net")]
 pub mod toots;
@@ -35,5 +40,7 @@ pub use discovery::SeedList;
 #[cfg(feature = "net")]
 pub use monitor::InstanceMonitor;
 pub use politeness::Politeness;
+#[cfg(feature = "net")]
+pub use retry::{fetch_with_retry, BreakerBank, FetchResult};
 #[cfg(feature = "net")]
 pub use survey::{run_survey, Survey};

@@ -6,8 +6,9 @@
 //! sweeps (or wires a ticker). Results accumulate into an
 //! [`InstancesDataset`].
 
-use crate::discovery::SeedList;
+use crate::discovery::{Seed, SeedList};
 use crate::politeness::Politeness;
+use crate::retry::{fetch_with_retry, BreakerBank, FetchResult};
 use fediscope_httpwire::Client;
 use fediscope_model::datasets::{InstanceApiInfo, InstancesDataset, ObservedSeries, PollResult};
 use fediscope_model::time::Epoch;
@@ -20,6 +21,7 @@ pub struct InstanceMonitor {
     politeness: Politeness,
     client: Client,
     dataset: InstancesDataset,
+    breakers: Arc<BreakerBank>,
 }
 
 impl InstanceMonitor {
@@ -40,6 +42,7 @@ impl InstanceMonitor {
             politeness,
             client: Client::default(),
             dataset,
+            breakers: Arc::new(BreakerBank::new()),
         }
     }
 
@@ -57,9 +60,10 @@ impl InstanceMonitor {
             let sem = sem.clone();
             let client = self.client.clone();
             let politeness = self.politeness.clone();
+            let breakers = self.breakers.clone();
             joins.push(tokio::spawn(async move {
                 let _permit = sem.acquire_owned().await.expect("semaphore open");
-                let result = poll_instance(&client, &politeness, &seed.addr, &seed.domain).await;
+                let result = poll_instance(&client, &politeness, Some(&breakers), &seed).await;
                 (idx, result)
             }));
         }
@@ -80,42 +84,44 @@ impl InstanceMonitor {
     }
 }
 
-/// One poll with retries; any persistent failure maps to [`PollResult::Down`]
-/// — the monitor cannot distinguish causes, which is exactly the paper's
-/// vantage point.
+/// One poll through the shared retry engine ([`crate::retry`]).
+///
+/// Outcome mapping — the load-bearing distinction is *observation* versus
+/// *measurement gap*:
+/// - 2xx with a valid payload → [`PollResult::Up`];
+/// - a well-formed negative answer (503, 403, 404, any other 4xx) →
+///   [`PollResult::Down`] — something answered for the instance and said
+///   no, which is exactly the mnm.social vantage point;
+/// - everything where the *measurement itself* failed (connection
+///   reset/refused/timeout after retries, persistent 429/5xx from the
+///   fault layer, corrupt payload) → [`PollResult::Unknown`] — the poll
+///   says nothing about the instance, and reconstruction must not read an
+///   outage into it.
 pub async fn poll_instance(
     client: &Client,
     politeness: &Politeness,
-    addr: &std::net::SocketAddr,
-    domain: &str,
+    breakers: Option<&BreakerBank>,
+    seed: &Seed,
 ) -> PollResult {
-    for attempt in 0..=politeness.retries {
-        match client.get(*addr, domain, "/api/v1/instance").await {
-            Ok(resp) if resp.status.is_success() => {
-                match parse_instance_info(&resp.text()) {
-                    Some(info) => return PollResult::Up(info),
-                    None => return PollResult::Down, // corrupt payload
-                }
-            }
-            Ok(resp) if resp.status.0 == 500 || resp.status.0 == 429 => {
-                // transient: retry after backoff
-                if attempt < politeness.retries {
-                    tokio::time::sleep(politeness.backoff_for(attempt)).await;
-                    continue;
-                }
-                return PollResult::Down;
-            }
-            Ok(_) => return PollResult::Down, // 4xx/503: down for our purposes
-            Err(_) => {
-                if attempt < politeness.retries {
-                    tokio::time::sleep(politeness.backoff_for(attempt)).await;
-                    continue;
-                }
-                return PollResult::Down;
+    let token = u64::from(seed.instance.0);
+    match fetch_with_retry(client, politeness, breakers, seed, token, "/api/v1/instance").await
+    {
+        FetchResult::Ok(resp) => match parse_instance_info(&resp.text()) {
+            Some(info) => PollResult::Up(info),
+            None => PollResult::Unknown, // corrupt payload: learned nothing
+        },
+        FetchResult::Denied(status) if status.0 == 429 || (500..600).contains(&status.0) => {
+            if status.0 == 503 {
+                // a 503 is the instance's hosting answering "down"
+                PollResult::Down
+            } else {
+                // persistent injected faults (429/500/502): no observation
+                PollResult::Unknown
             }
         }
+        FetchResult::Denied(_) => PollResult::Down,
+        FetchResult::Unreachable => PollResult::Unknown,
     }
-    PollResult::Down
 }
 
 /// Parse the instance-API payload into the §3 field set.

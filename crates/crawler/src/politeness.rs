@@ -1,4 +1,10 @@
-//! Politeness policy: concurrency, pacing, retries.
+//! Politeness policy: concurrency, pacing, retries, backoff, and the
+//! circuit-breaker knobs the retry engine ([`crate::retry`]) consumes.
+//!
+//! Backoff is capped exponential with *deterministic* jitter: the jitter
+//! term derives from a seed and a caller-supplied token, never from a
+//! wall-clock RNG, so the same crawl replays with the same wait schedule —
+//! which keeps whole crawl transcripts byte-identical across runs.
 
 use std::time::Duration;
 
@@ -11,10 +17,34 @@ pub struct Politeness {
     /// Artificial delay between successive API calls to the *same* instance
     /// ("to avoid overwhelming instances").
     pub per_call_delay: Duration,
-    /// Retries after transient failures (5xx/timeouts) before giving up.
+    /// Retries after transient failures (5xx/timeouts/resets) before giving
+    /// up.
     pub retries: u32,
     /// Base backoff; doubles per retry.
     pub backoff: Duration,
+    /// Ceiling on any single backoff wait (the exponential never exceeds
+    /// this, however many retries are configured).
+    pub backoff_cap: Duration,
+    /// Jitter fraction in `[0, 1)`: each backoff gains up to this fraction
+    /// of itself, chosen deterministically from [`Politeness::jitter_seed`]
+    /// and the caller's token.
+    pub jitter: f64,
+    /// Seed for the deterministic jitter stream.
+    pub jitter_seed: u64,
+    /// Ceiling on an honoured `retry-after` header (a hostile server must
+    /// not park the crawler for an hour).
+    pub retry_after_cap: Duration,
+    /// How many 429 waits to honour per fetch, *separately* from
+    /// [`Politeness::retries`] (rate limits are expected during a budgeted
+    /// crawl and should not eat the transient-failure budget).
+    pub rate_limit_waits: u32,
+    /// Consecutive connection-level failures before an instance's circuit
+    /// breaker opens (0 disables the breaker).
+    pub breaker_threshold: u32,
+    /// Requests fast-failed while a breaker is open before one probe
+    /// request is let through (request-count cooldown: clock-free, so it
+    /// behaves identically under virtual and wall time).
+    pub breaker_cooldown: u32,
 }
 
 impl Default for Politeness {
@@ -24,25 +54,81 @@ impl Default for Politeness {
             per_call_delay: Duration::from_millis(2),
             retries: 2,
             backoff: Duration::from_millis(5),
+            backoff_cap: Duration::from_secs(1),
+            jitter: 0.0,
+            jitter_seed: 0x5eed_cafe,
+            retry_after_cap: Duration::from_secs(5),
+            rate_limit_waits: 2,
+            breaker_threshold: 0,
+            breaker_cooldown: 8,
         }
     }
 }
 
 impl Politeness {
-    /// Fast profile for tests: no pacing, one retry.
+    /// Fast profile for tests: no pacing, one retry, breaker off.
     pub fn fast() -> Self {
         Self {
             concurrency: 32,
             per_call_delay: Duration::ZERO,
             retries: 1,
             backoff: Duration::from_millis(1),
+            ..Self::default()
         }
     }
 
-    /// Backoff before retry `attempt` (0-based): exponential doubling.
-    pub fn backoff_for(&self, attempt: u32) -> Duration {
-        self.backoff.saturating_mul(1u32 << attempt.min(16))
+    /// Profile for crawling through a hostile network: deep retry budget,
+    /// jittered capped backoff, generous 429 tolerance, and the circuit
+    /// breaker armed so persistently dead instances stop costing retries.
+    pub fn hostile() -> Self {
+        Self {
+            concurrency: 16,
+            per_call_delay: Duration::ZERO,
+            retries: 5,
+            backoff: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+            jitter: 0.25,
+            rate_limit_waits: 4,
+            breaker_threshold: 4,
+            breaker_cooldown: 16,
+            ..Self::default()
+        }
     }
+
+    /// Backoff before retry `attempt` (0-based): exponential doubling,
+    /// capped at [`Politeness::backoff_cap`].
+    pub fn backoff_for(&self, attempt: u32) -> Duration {
+        self.backoff
+            .saturating_mul(1u32 << attempt.min(16))
+            .min(self.backoff_cap)
+    }
+
+    /// Capped backoff plus deterministic jitter: up to `jitter` of the base
+    /// wait, derived from the seed and `token` (callers pass something
+    /// stable per call site — instance id, page number — so replays wait
+    /// identically).
+    pub fn backoff_jittered(&self, attempt: u32, token: u64) -> Duration {
+        let base = self.backoff_for(attempt);
+        if self.jitter <= 0.0 {
+            return base;
+        }
+        let h = splitmix(self.jitter_seed ^ token.rotate_left(17) ^ (u64::from(attempt) << 48));
+        let u = (h >> 11) as f64 / (1u64 << 53) as f64; // uniform [0,1)
+        let extra = base.mul_f64(self.jitter.min(1.0) * u);
+        (base + extra).min(self.backoff_cap)
+    }
+
+    /// Clamp a server-provided `retry-after` (seconds) to the configured
+    /// ceiling.
+    pub fn clamp_retry_after(&self, seconds: u64) -> Duration {
+        Duration::from_secs(seconds).min(self.retry_after_cap)
+    }
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
 }
 
 #[cfg(test)]
@@ -71,9 +157,81 @@ mod tests {
     }
 
     #[test]
+    fn backoff_capped() {
+        let p = Politeness {
+            backoff: Duration::from_millis(10),
+            backoff_cap: Duration::from_millis(35),
+            ..Politeness::default()
+        };
+        assert_eq!(p.backoff_for(0), Duration::from_millis(10));
+        assert_eq!(p.backoff_for(1), Duration::from_millis(20));
+        assert_eq!(p.backoff_for(2), Duration::from_millis(35), "hits cap");
+        assert_eq!(p.backoff_for(10), Duration::from_millis(35));
+    }
+
+    #[test]
+    fn jitter_is_deterministic_and_bounded() {
+        let p = Politeness {
+            backoff: Duration::from_millis(100),
+            jitter: 0.5,
+            backoff_cap: Duration::from_secs(10),
+            ..Politeness::default()
+        };
+        for token in 0..200u64 {
+            let a = p.backoff_jittered(1, token);
+            let b = p.backoff_jittered(1, token);
+            assert_eq!(a, b, "same token must jitter identically");
+            assert!(a >= Duration::from_millis(200));
+            assert!(a <= Duration::from_millis(300), "jitter ≤ 50% of base");
+        }
+        // different tokens actually spread
+        let spread: std::collections::HashSet<Duration> =
+            (0..50).map(|t| p.backoff_jittered(0, t)).collect();
+        assert!(spread.len() > 10, "jitter should vary across tokens");
+        // seed changes the stream
+        let p2 = Politeness {
+            jitter_seed: 999,
+            ..p.clone()
+        };
+        assert!(
+            (0..50).any(|t| p.backoff_jittered(0, t) != p2.backoff_jittered(0, t)),
+            "different seeds should differ somewhere"
+        );
+    }
+
+    #[test]
+    fn zero_jitter_is_pure_exponential() {
+        let p = Politeness {
+            backoff: Duration::from_millis(10),
+            jitter: 0.0,
+            ..Politeness::default()
+        };
+        assert_eq!(p.backoff_jittered(2, 12345), p.backoff_for(2));
+    }
+
+    #[test]
+    fn retry_after_clamped() {
+        let p = Politeness {
+            retry_after_cap: Duration::from_secs(3),
+            ..Politeness::default()
+        };
+        assert_eq!(p.clamp_retry_after(1), Duration::from_secs(1));
+        assert_eq!(p.clamp_retry_after(3600), Duration::from_secs(3));
+    }
+
+    #[test]
     fn defaults_sane() {
         let p = Politeness::default();
         assert!(p.concurrency > 0);
         assert!(p.retries > 0);
+        assert!(p.backoff_cap >= p.backoff);
+        // default and fast profiles keep the breaker disarmed
+        assert_eq!(p.breaker_threshold, 0);
+        assert_eq!(Politeness::fast().breaker_threshold, 0);
+        // hostile arms everything
+        let h = Politeness::hostile();
+        assert!(h.breaker_threshold > 0);
+        assert!(h.jitter > 0.0);
+        assert!(h.retries > p.retries);
     }
 }

@@ -9,6 +9,7 @@
 
 use crate::discovery::{Seed, SeedList};
 use crate::politeness::Politeness;
+use crate::retry::{fetch_with_retry, FetchResult};
 use fediscope_httpwire::Client;
 use fediscope_model::datasets::{TootCrawlRecord, TootsDataset};
 use fediscope_model::ids::UserId;
@@ -31,7 +32,8 @@ pub async fn crawl_toots(
 ) -> TootsDataset {
     let sem = Arc::new(Semaphore::new(politeness.concurrency));
     let mut joins = Vec::with_capacity(seeds.len());
-    for seed in seeds.entries().iter().cloned() {
+    for seed in seeds.entries() {
+        let seed = seed.clone();
         let sem = sem.clone();
         let client = client.clone();
         let politeness = politeness.clone();
@@ -75,7 +77,7 @@ pub async fn crawl_instance(
                 format!("/api/v1/timelines/public?local=true&limit={PAGE_LIMIT}&max_id={m}")
             }
         };
-        let page = fetch_page(client, politeness, seed, &path).await;
+        let page = fetch_page(client, politeness, seed, pages as u64, &path).await;
         let Some(toots) = page else {
             // offline / blocked mid-crawl: keep whatever was gathered but
             // flag not-crawled only if nothing arrived at all
@@ -125,31 +127,17 @@ async fn fetch_page(
     client: &Client,
     politeness: &Politeness,
     seed: &Seed,
+    page: u64,
     path: &str,
 ) -> Option<Vec<TimelineToot>> {
-    for attempt in 0..=politeness.retries {
-        match client.get(seed.addr, &seed.domain, path).await {
-            Ok(resp) if resp.status.is_success() => {
-                return parse_timeline(&resp.text());
-            }
-            Ok(resp) if resp.status.0 == 500 || resp.status.0 == 429 => {
-                if attempt < politeness.retries {
-                    tokio::time::sleep(politeness.backoff_for(attempt)).await;
-                    continue;
-                }
-                return None;
-            }
-            Ok(_) => return None, // 403 blocked, 503 down, …
-            Err(_) => {
-                if attempt < politeness.retries {
-                    tokio::time::sleep(politeness.backoff_for(attempt)).await;
-                    continue;
-                }
-                return None;
-            }
-        }
+    // jitter token: instance in the high half, page number in the low half,
+    // so every (instance, page) pair waits its own deterministic schedule
+    let token = (u64::from(seed.instance.0) << 32) | (page & 0xffff_ffff);
+    match fetch_with_retry(client, politeness, None, seed, token, path).await {
+        FetchResult::Ok(resp) => parse_timeline(&resp.text()),
+        FetchResult::Denied(_) => None, // 403 blocked, 503 down, …
+        FetchResult::Unreachable => None,
     }
-    None
 }
 
 /// Parse a timeline page.

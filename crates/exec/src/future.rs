@@ -1,0 +1,87 @@
+//! Minimal future combinators backing the facade's `select!` macro.
+
+use std::future::Future;
+use std::pin::Pin;
+use std::task::{Context, Poll};
+
+/// Which branch of a [`select2`] completed first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Either<A, B> {
+    /// The first future finished.
+    Left(A),
+    /// The second future finished.
+    Right(B),
+}
+
+/// Future returned by [`select2`].
+pub struct Select2<A, B> {
+    a: A,
+    b: B,
+}
+
+impl<A, B> Future for Select2<A, B>
+where
+    A: Future + Unpin,
+    B: Future + Unpin,
+{
+    type Output = Either<A::Output, B::Output>;
+
+    fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<Self::Output> {
+        let this = self.get_mut();
+        if let Poll::Ready(out) = Pin::new(&mut this.a).poll(cx) {
+            return Poll::Ready(Either::Left(out));
+        }
+        if let Poll::Ready(out) = Pin::new(&mut this.b).poll(cx) {
+            return Poll::Ready(Either::Right(out));
+        }
+        Poll::Pending
+    }
+}
+
+/// Race two futures, **biased** toward the first: when both are ready on
+/// the same poll, the left one wins. Bias is what makes `select!` sites
+/// deterministic — there is no coin flip to replay.
+pub fn select2<A, B>(a: A, b: B) -> Select2<A, B>
+where
+    A: Future + Unpin,
+    B: Future + Unpin,
+{
+    Select2 { a, b }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::Runtime;
+    use crate::time::sleep;
+    use std::time::Duration;
+
+    #[test]
+    fn earlier_deadline_wins() {
+        let rt = Runtime::new().unwrap();
+        rt.block_on(async {
+            let fast = std::pin::pin!(async {
+                sleep(Duration::from_millis(5)).await;
+                "fast"
+            });
+            let slow = std::pin::pin!(async {
+                sleep(Duration::from_millis(50)).await;
+                "slow"
+            });
+            match select2(fast, slow).await {
+                Either::Left(v) => assert_eq!(v, "fast"),
+                Either::Right(_) => panic!("slow branch won"),
+            }
+        });
+    }
+
+    #[test]
+    fn simultaneous_ready_is_left_biased() {
+        let rt = Runtime::new().unwrap();
+        rt.block_on(async {
+            let a = std::pin::pin!(async { 1u8 });
+            let b = std::pin::pin!(async { 2u8 });
+            assert_eq!(select2(a, b).await, Either::Left(1));
+        });
+    }
+}

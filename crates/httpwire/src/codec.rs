@@ -150,6 +150,7 @@ pub fn parse_response(buf: &mut BytesMut) -> Result<Option<Response>, ParseError
         status: StatusCode(code),
         headers,
         body,
+        hangup: false,
     }))
 }
 
@@ -359,6 +360,7 @@ mod prop_tests {
                 status: StatusCode(code),
                 headers: vec![("content-type".into(), "application/octet-stream".into())],
                 body: Bytes::from(body),
+                hangup: false,
             };
             let mut buf = BytesMut::from(&encode_response(&resp)[..]);
             let parsed = parse_response(&mut buf).unwrap().unwrap();

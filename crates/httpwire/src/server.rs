@@ -131,6 +131,13 @@ async fn serve_connection(mut stream: TcpStream, handler: Handler, read_timeout:
         let Some(req) = req else { return };
         let close = req.wants_close();
         let resp = handler(req).await;
+        if resp.hangup {
+            // Fault injection asked for an abrupt connection death: write
+            // nothing and reset, so the client sees ECONNRESET mid-exchange
+            // rather than a well-formed error response.
+            stream.reset();
+            return;
+        }
         if stream.write_all(&encode_response(&resp)).await.is_err() {
             return;
         }
@@ -235,6 +242,24 @@ mod tests {
         let mut buf = Vec::new();
         stream.read_to_end(&mut buf).await.unwrap(); // EOF after response
         assert!(String::from_utf8_lossy(&buf).contains("/bye"));
+        handle.shutdown().await;
+    }
+
+    #[tokio::test]
+    async fn hangup_resets_without_response() {
+        let handle = Server::new(|_req| async { Response::hangup() })
+            .bind("127.0.0.1:0")
+            .await
+            .unwrap();
+        let client = Client::default();
+        let err = client.get(handle.addr(), "h", "/doomed").await.unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::client::ClientError::Io(_) | crate::client::ClientError::ConnectionClosed
+            ),
+            "expected a connection-level failure, got {err:?}"
+        );
         handle.shutdown().await;
     }
 

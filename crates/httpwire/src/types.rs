@@ -144,6 +144,11 @@ pub struct Response {
     pub headers: Vec<(String, String)>,
     /// Body.
     pub body: Bytes,
+    /// When set, the server writes *nothing* and resets the connection —
+    /// the wire-level fault a mid-crawl instance death produces. The status
+    /// and body are ignored; clients never observe this field (they see a
+    /// connection reset instead of a response).
+    pub hangup: bool,
 }
 
 impl Response {
@@ -153,6 +158,16 @@ impl Response {
             status,
             headers: Vec::new(),
             body: Bytes::new(),
+            hangup: false,
+        }
+    }
+
+    /// A sentinel instructing the server to reset the connection without
+    /// answering (models an abrupt instance death / RST mid-exchange).
+    pub fn hangup() -> Response {
+        Response {
+            hangup: true,
+            ..Response::status(StatusCode::SERVICE_UNAVAILABLE)
         }
     }
 
@@ -162,6 +177,7 @@ impl Response {
             status: StatusCode::OK,
             headers: vec![("content-type".into(), "application/json".into())],
             body: body.into(),
+            hangup: false,
         }
     }
 
@@ -171,7 +187,14 @@ impl Response {
             status: StatusCode::OK,
             headers: vec![("content-type".into(), "text/html; charset=utf-8".into())],
             body: body.into(),
+            hangup: false,
         }
+    }
+
+    /// Attach a header (builder style).
+    pub fn with_header(mut self, name: &str, value: impl Into<String>) -> Response {
+        self.headers.push((name.to_ascii_lowercase(), value.into()));
+        self
     }
 
     /// First value of a header.

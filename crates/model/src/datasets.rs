@@ -35,14 +35,25 @@ pub struct InstanceApiInfo {
 pub enum PollResult {
     /// Instance responded.
     Up(InstanceApiInfo),
-    /// Connection failed / timed out / non-2xx.
+    /// The instance (or its hosting) answered negatively: 503, blocked, …
+    /// — the monitor observed it to be down.
     Down,
+    /// The poll itself failed (connection reset, persistent rate limiting,
+    /// corrupt payload): the monitor learned *nothing* about the instance.
+    /// Reconstruction skips these; coverage reporting counts them.
+    Unknown,
 }
 
 impl PollResult {
     /// True when the instance answered.
     pub fn is_up(&self) -> bool {
         matches!(self, PollResult::Up(_))
+    }
+
+    /// Did this poll observe the instance at all? (`Up` and `Down` did;
+    /// `Unknown` is a gap in the measurement.)
+    pub fn is_known(&self) -> bool {
+        !matches!(self, PollResult::Unknown)
     }
 }
 
@@ -56,20 +67,38 @@ pub struct ObservedSeries {
 }
 
 impl ObservedSeries {
-    /// Fraction of polls that failed (`None` when never polled).
+    /// Fraction of *known* polls that observed the instance down (`None`
+    /// when nothing was ever observed). `Unknown` polls are measurement
+    /// gaps, not observations, so they join neither numerator nor
+    /// denominator.
     pub fn downtime_fraction(&self) -> Option<f64> {
-        if self.polls.is_empty() {
+        let known = self.known_polls();
+        if known == 0 {
             return None;
         }
-        let down = self.polls.iter().filter(|(_, r)| !r.is_up()).count();
-        Some(down as f64 / self.polls.len() as f64)
+        let down = self
+            .polls
+            .iter()
+            .filter(|(_, r)| r.is_known() && !r.is_up())
+            .count();
+        Some(down as f64 / known as f64)
+    }
+
+    /// Number of polls that actually observed the instance.
+    pub fn known_polls(&self) -> usize {
+        self.polls.iter().filter(|(_, r)| r.is_known()).count()
+    }
+
+    /// Number of polls lost to measurement failure.
+    pub fn unknown_polls(&self) -> usize {
+        self.polls.len() - self.known_polls()
     }
 
     /// Latest successful poll payload, if any.
     pub fn last_up(&self) -> Option<&InstanceApiInfo> {
         self.polls.iter().rev().find_map(|(_, r)| match r {
             PollResult::Up(info) => Some(info),
-            PollResult::Down => None,
+            _ => None,
         })
     }
 }
@@ -175,6 +204,32 @@ mod tests {
         };
         assert_eq!(s.downtime_fraction(), Some(0.5));
         assert_eq!(s.last_up().unwrap().users, 2);
+    }
+
+    #[test]
+    fn unknown_polls_are_gaps_not_observations() {
+        let s = ObservedSeries {
+            instance: InstanceId(0),
+            polls: vec![
+                (Epoch(0), PollResult::Up(info(1))),
+                (Epoch(1), PollResult::Unknown),
+                (Epoch(2), PollResult::Down),
+                (Epoch(3), PollResult::Unknown),
+            ],
+        };
+        assert_eq!(s.known_polls(), 2);
+        assert_eq!(s.unknown_polls(), 2);
+        // downtime over known polls only: 1 down of 2 known
+        assert_eq!(s.downtime_fraction(), Some(0.5));
+        assert!(!PollResult::Unknown.is_up());
+        assert!(!PollResult::Unknown.is_known());
+        // a series of only unknowns observed nothing
+        let blind = ObservedSeries {
+            instance: InstanceId(1),
+            polls: vec![(Epoch(0), PollResult::Unknown)],
+        };
+        assert_eq!(blind.downtime_fraction(), None);
+        assert!(blind.last_up().is_none());
     }
 
     #[test]

@@ -6,6 +6,12 @@
 //! reconstructed outages carry [`OutageCause::Organic`] — a measurement
 //! cannot observe causes (attribution is a separate, inference step in
 //! [`crate::certs`] and [`crate::asn`]).
+//!
+//! Reconstruction is **gap-tolerant**: `Unknown` polls (the measurement
+//! itself failed — reset connections, exhausted retries) are skipped as if
+//! the poll never happened, and [`CrawlCoverage`] reports how much of the
+//! feed was lost so downstream figures can be bounded honestly instead of
+//! silently absorbing measurement failures as fake outages.
 
 use fediscope_model::datasets::ObservedSeries;
 use fediscope_model::schedule::{AvailabilitySchedule, OutageArena, OutageCause};
@@ -38,28 +44,37 @@ impl PollScratch {
 }
 
 /// The shared reconstruction core: decode one poll series into `scratch`.
-/// Returns `false` (scratch untouched beyond clearing) for an empty series.
+/// Returns `false` (scratch untouched beyond clearing) for a series with no
+/// *known* polls — all-`Unknown` series observed nothing.
 ///
 /// Semantics: a run of consecutive `Down` polls becomes one outage spanning
 /// from the first down poll to the next up poll (exclusive). The instance's
 /// lifetime is taken as `[first poll day, one-past-last poll day)`; a series
 /// that *ends* down is treated as retired at its last up poll (the paper
 /// excludes "persistently failed instances" from outage statistics).
+/// `Unknown` polls are skipped everywhere — they behave exactly as if the
+/// monitor had never polled at that tick.
 fn reconstruct_into(series: &ObservedSeries, scratch: &mut PollScratch) -> bool {
     scratch.intervals.clear();
-    if series.polls.is_empty() {
-        return false;
-    }
-    let first = series.polls.first().unwrap().0;
-    let last = series.polls.last().unwrap().0;
 
-    // Find the last up poll to decide retirement.
-    let last_up = series
-        .polls
-        .iter()
-        .rev()
-        .find(|(_, r)| r.is_up())
-        .map(|(e, _)| *e);
+    // One pass over the known polls for the series geometry.
+    let mut first = None;
+    let mut last = Epoch(0);
+    let mut last_up = None;
+    for &(epoch, ref result) in &series.polls {
+        if !result.is_known() {
+            continue;
+        }
+        first.get_or_insert(epoch);
+        last = epoch;
+        if result.is_up() {
+            last_up = Some(epoch);
+        }
+    }
+    let Some(first) = first else {
+        return false;
+    };
+
     let (lifetime_end, retired) = match last_up {
         // never seen up: degenerate; treat as retired immediately
         None => (first, Some(first.day())),
@@ -71,6 +86,9 @@ fn reconstruct_into(series: &ObservedSeries, scratch: &mut PollScratch) -> bool 
 
     let mut down_since: Option<Epoch> = None;
     for &(epoch, ref result) in &series.polls {
+        if !result.is_known() {
+            continue;
+        }
         if epoch > lifetime_end {
             break;
         }
@@ -145,6 +163,83 @@ pub fn arena_from_polls(series: &[ObservedSeries]) -> OutageArena {
 /// Observed downtime fraction over the polled portion of the lifetime.
 pub fn observed_downtime(series: &ObservedSeries) -> Option<f64> {
     series.downtime_fraction()
+}
+
+/// How much of a poll feed actually observed its targets — the honesty
+/// report that accompanies any reconstruction from a fault-degraded crawl.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct CrawlCoverage {
+    /// Number of monitored instances (series).
+    pub instances: usize,
+    /// Polls attempted across all series.
+    pub polls: usize,
+    /// Polls that observed their instance (`Up` or `Down`).
+    pub known: usize,
+    /// Polls lost to measurement failure (`Unknown`).
+    pub unknown: usize,
+    /// Series with at least one poll and zero measurement gaps — their
+    /// reconstruction is exactly what a fault-free crawl would produce.
+    pub fully_observed: usize,
+    /// Series whose *last* poll is a gap: the retirement decision rests on
+    /// an earlier poll and may lag the truth.
+    pub trailing_unknown: usize,
+    /// Per-series gap counts, aligned with the input order.
+    pub per_instance_unknown: Vec<usize>,
+}
+
+impl CrawlCoverage {
+    /// Did every poll observe its instance? When true, the reconstruction
+    /// is bit-identical to a fault-free crawl of the same schedule.
+    pub fn complete(&self) -> bool {
+        self.unknown == 0
+    }
+
+    /// Fraction of polls that observed (`1.0` for an empty feed).
+    pub fn known_fraction(&self) -> f64 {
+        if self.polls == 0 {
+            return 1.0;
+        }
+        self.known as f64 / self.polls as f64
+    }
+}
+
+/// [`arena_from_polls`] plus the [`CrawlCoverage`] accounting of how much
+/// of the feed was actually observed.
+pub fn arena_from_polls_with_coverage(series: &[ObservedSeries]) -> (OutageArena, CrawlCoverage) {
+    let mut scratch = PollScratch::default();
+    let mut b = OutageArena::builder(series.len(), 0);
+    let mut cov = CrawlCoverage {
+        instances: series.len(),
+        per_instance_unknown: Vec::with_capacity(series.len()),
+        ..CrawlCoverage::default()
+    };
+    for s in series {
+        let unknown = s.unknown_polls();
+        cov.polls += s.polls.len();
+        cov.unknown += unknown;
+        cov.per_instance_unknown.push(unknown);
+        if unknown == 0 && !s.polls.is_empty() {
+            cov.fully_observed += 1;
+        }
+        if s.polls.last().is_some_and(|(_, r)| !r.is_known()) {
+            cov.trailing_unknown += 1;
+        }
+        if reconstruct_into(s, &mut scratch) {
+            let (birth, death) = scratch.lifetime();
+            b.push_instance(birth, death);
+            for &(start, end) in &scratch.intervals {
+                let lo = start.0.max(birth.0);
+                let hi = end.0.min(death.0);
+                if lo < hi {
+                    b.push_outage(Epoch(lo), Epoch(hi), OutageCause::Organic);
+                }
+            }
+        } else {
+            b.push_instance(Epoch(0), Epoch(0));
+        }
+    }
+    cov.known = cov.polls - cov.unknown;
+    (b.finish(), cov)
 }
 
 #[cfg(test)]
@@ -228,6 +323,91 @@ mod tests {
         assert_eq!(sched.outages()[0].start, Epoch(10));
         assert_eq!(sched.outages()[1].start, Epoch(30));
         assert_eq!(sched.outages()[1].end, Epoch(50));
+    }
+
+    fn series_with_gaps(polls: Vec<(u32, Option<bool>)>) -> ObservedSeries {
+        ObservedSeries {
+            instance: InstanceId(0),
+            polls: polls
+                .into_iter()
+                .map(|(e, r)| {
+                    let r = match r {
+                        Some(true) => up(),
+                        Some(false) => PollResult::Down,
+                        None => PollResult::Unknown,
+                    };
+                    (Epoch(e), r)
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn unknown_polls_are_skipped_like_missing_ticks() {
+        // the same observations, with and without interleaved gaps, must
+        // reconstruct identically
+        let clean = series(vec![(0, true), (10, false), (20, false), (30, true)]);
+        let gappy = series_with_gaps(vec![
+            (0, Some(true)),
+            (5, None),
+            (10, Some(false)),
+            (15, None),
+            (20, Some(false)),
+            (25, None),
+            (30, Some(true)),
+        ]);
+        assert_eq!(
+            schedule_from_polls(&clean).unwrap(),
+            schedule_from_polls(&gappy).unwrap()
+        );
+    }
+
+    #[test]
+    fn leading_and_trailing_unknowns_shrink_the_observed_lifetime() {
+        // gaps at the edges: the lifetime starts at the first *known* poll
+        let s = series_with_gaps(vec![
+            (0, None),
+            (300, Some(true)),
+            (600, Some(true)),
+            (900, None),
+        ]);
+        let sched = schedule_from_polls(&s).unwrap();
+        assert_eq!(sched.created, Epoch(300).day());
+        assert!(sched.retired.is_none(), "trailing gap is not retirement");
+    }
+
+    #[test]
+    fn all_unknown_series_observes_nothing() {
+        let s = series_with_gaps(vec![(0, None), (10, None)]);
+        assert!(schedule_from_polls(&s).is_none());
+    }
+
+    #[test]
+    fn coverage_accounting() {
+        let batch = vec![
+            series(vec![(0, true), (10, false), (20, true)]), // fully observed
+            series_with_gaps(vec![(0, Some(true)), (10, None), (20, Some(true))]),
+            series_with_gaps(vec![(0, Some(true)), (10, None)]), // trailing gap
+            ObservedSeries::default(),                           // never polled
+        ];
+        let (arena, cov) = arena_from_polls_with_coverage(&batch);
+        assert_eq!(cov.instances, 4);
+        assert_eq!(cov.polls, 3 + 3 + 2);
+        assert_eq!(cov.unknown, 2);
+        assert_eq!(cov.known, 6);
+        assert_eq!(cov.fully_observed, 1, "only the clean series");
+        assert_eq!(cov.trailing_unknown, 1);
+        assert_eq!(cov.per_instance_unknown, vec![0, 1, 1, 0]);
+        assert!(!cov.complete());
+        assert!((cov.known_fraction() - 6.0 / 8.0).abs() < 1e-12);
+        // the arena equals the plain path
+        assert_eq!(arena, arena_from_polls(&batch));
+        // a gap-free feed reports complete coverage
+        let clean = vec![series(vec![(0, true), (10, true)])];
+        let (_, cov) = arena_from_polls_with_coverage(&clean);
+        assert!(cov.complete());
+        assert_eq!(cov.known_fraction(), 1.0);
+        assert_eq!(cov.fully_observed, 1);
     }
 
     #[test]

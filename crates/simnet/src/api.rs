@@ -48,25 +48,34 @@ pub async fn handle(state: Arc<SimState>, req: Request) -> Response {
         return Response::status(StatusCode::NOT_FOUND);
     };
 
-    // Availability at virtual time.
-    if !state.is_up(instance) {
-        return Response::status(StatusCode::SERVICE_UNAVAILABLE);
-    }
-
-    // Fault injection.
-    match state.faults.decide() {
+    // Fault injection runs *before* the availability check: the network
+    // path (load balancer, rate limiter, dying box) fails you before the
+    // application gets a say. A dead instance resets even while its
+    // schedule says "up".
+    match state.faults.decide_for(instance.0) {
         FaultDecision::Pass => {}
         FaultDecision::Delay(d) => tokio::time::sleep(d).await,
         FaultDecision::ServerError => {
             return Response::status(StatusCode::INTERNAL_SERVER_ERROR)
         }
-        FaultDecision::RateLimited => return Response::status(StatusCode::TOO_MANY_REQUESTS),
+        FaultDecision::RateLimited => return rate_limited(),
+        FaultDecision::Reset => return Response::hangup(),
     }
     if !state.consume_budget(instance) {
-        return Response::status(StatusCode::TOO_MANY_REQUESTS);
+        return rate_limited();
+    }
+
+    // Availability at virtual time.
+    if !state.is_up(instance) {
+        return Response::status(StatusCode::SERVICE_UNAVAILABLE);
     }
 
     route(state, instance, &host, req).await
+}
+
+/// A 429 carrying the `retry-after` hint real Mastodon rate limiters send.
+fn rate_limited() -> Response {
+    Response::status(StatusCode::TOO_MANY_REQUESTS).with_header("retry-after", "1")
 }
 
 async fn route(
@@ -263,6 +272,7 @@ fn inbox(state: &SimState, instance: InstanceId, name: &str, req: &Request) -> R
         status: StatusCode(202),
         headers: vec![("content-type".into(), "application/json".into())],
         body: bytes::Bytes::from_static(b"{}"),
+        hangup: false,
     }
 }
 

@@ -25,7 +25,6 @@ pub struct SimState {
     subscriptions_out: OnceLock<Vec<u32>>,
     remote_toots: OnceLock<Vec<u64>>,
     inboxes: Vec<Mutex<Vec<Activity>>>,
-    budgets: Mutex<HashMap<u32, (u32, u32)>>,
 }
 
 impl SimState {
@@ -37,16 +36,18 @@ impl SimState {
             .map(|i| (i.domain.clone(), i.id))
             .collect();
         let n = world.instances.len();
+        // The clock is built first so the injector's per-epoch budget
+        // windows track the same virtual time the availability checks use.
+        let clock = SimClock::new();
         Arc::new(Self {
-            clock: SimClock::new(),
-            faults: FaultInjector::new(plan, seed),
+            faults: FaultInjector::new(plan, seed).with_clock(clock.clone()),
+            clock,
             domains,
             timelines: (0..n).map(|_| OnceLock::new()).collect(),
             followers_of: OnceLock::new(),
             subscriptions_out: OnceLock::new(),
             remote_toots: OnceLock::new(),
             inboxes: (0..n).map(|_| Mutex::new(Vec::new())).collect(),
-            budgets: Mutex::new(HashMap::new()),
             world,
         })
     }
@@ -123,21 +124,10 @@ impl SimState {
     }
 
     /// Enforce the per-epoch request budget for an instance. Returns `false`
-    /// when the request should be rejected with 429. A budget of 0 means
-    /// unlimited.
+    /// when the request should be rejected with 429. Budget accounting
+    /// lives in the [`FaultInjector`], keyed by the shared virtual clock.
     pub fn consume_budget(&self, id: InstanceId) -> bool {
-        let budget = self.faults.plan().per_epoch_budget;
-        if budget == 0 {
-            return true;
-        }
-        let epoch = self.clock.now().0;
-        let mut map = self.budgets.lock();
-        let entry = map.entry(id.0).or_insert((epoch, 0));
-        if entry.0 != epoch {
-            *entry = (epoch, 0);
-        }
-        entry.1 += 1;
-        entry.1 <= budget
+        self.faults.consume_budget(id.0)
     }
 
     /// Deliver an activity into an instance's inbox (in-process transport).

@@ -78,22 +78,75 @@ pub fn from_value<T: serde::Deserialize>(v: Value) -> Result<T> {
 }
 
 /// Build a [`Value`] with JSON-literal syntax.
+///
+/// Object and array entries may be arbitrary Rust expressions (method
+/// calls, `format!`, casts…), matched by a token-tree muncher that splits
+/// on top-level commas — same surface as the real `serde_json::json!`.
 #[macro_export]
 macro_rules! json {
     (null) => { $crate::Value::Null };
     (true) => { $crate::Value::Bool(true) };
     (false) => { $crate::Value::Bool(false) };
-    ([ $($item:tt),* $(,)? ]) => {
-        $crate::Value::Array(vec![ $( $crate::json!($item) ),* ])
-    };
-    ({ $($key:tt : $val:tt),* $(,)? }) => {{
+    ([ $($body:tt)* ]) => {{
+        #![allow(clippy::vec_init_then_push)]
+        #[allow(unused_mut)]
+        let mut __a = ::std::vec::Vec::new();
+        $crate::json_array_entry!(__a, $($body)*);
+        $crate::Value::Array(__a)
+    }};
+    ({ $($body:tt)* }) => {{
         #[allow(unused_mut)]
         let mut __m = $crate::Map::new();
-        $( __m.insert(::std::string::String::from($key), $crate::json!($val)); )*
+        $crate::json_object_entry!(__m, $($body)*);
         $crate::Value::Object(__m)
     }};
     ($other:expr) => {
         $crate::value_from($other)
+    };
+}
+
+/// `json!` internals: munch object entries. Single-token values (nested
+/// `{…}`/`[…]` groups, literals, `null`) are tried first; anything longer
+/// falls through to the `expr` arms, which consume up to the next
+/// top-level comma.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_entry {
+    ($m:ident $(,)?) => {};
+    ($m:ident, $key:tt : $val:tt , $($rest:tt)*) => {
+        $m.insert(::std::string::String::from($key), $crate::json!($val));
+        $crate::json_object_entry!($m, $($rest)*);
+    };
+    ($m:ident, $key:tt : $val:tt) => {
+        $m.insert(::std::string::String::from($key), $crate::json!($val));
+    };
+    ($m:ident, $key:tt : $val:expr , $($rest:tt)*) => {
+        $m.insert(::std::string::String::from($key), $crate::json!($val));
+        $crate::json_object_entry!($m, $($rest)*);
+    };
+    ($m:ident, $key:tt : $val:expr) => {
+        $m.insert(::std::string::String::from($key), $crate::json!($val));
+    };
+}
+
+/// `json!` internals: munch array items, same strategy as objects.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_entry {
+    ($a:ident $(,)?) => {};
+    ($a:ident, $val:tt , $($rest:tt)*) => {
+        $a.push($crate::json!($val));
+        $crate::json_array_entry!($a, $($rest)*);
+    };
+    ($a:ident, $val:tt) => {
+        $a.push($crate::json!($val));
+    };
+    ($a:ident, $val:expr , $($rest:tt)*) => {
+        $a.push($crate::json!($val));
+        $crate::json_array_entry!($a, $($rest)*);
+    };
+    ($a:ident, $val:expr) => {
+        $a.push($crate::json!($val));
     };
 }
 

@@ -1,0 +1,87 @@
+//! Offline stand-in for `tokio-macros`.
+//!
+//! crates.io (and therefore `syn`/`quote`) is unavailable in this build
+//! environment, so the attributes rewrite the item's `TokenStream` by hand.
+//! Both expand an `async fn` into a plain fn whose body drives the future
+//! on the deterministic runtime:
+//!
+//! ```text
+//! #[tokio::test]                    #[test]
+//! async fn name() { BODY }    →     fn name() {
+//!                                       ::tokio::runtime::Runtime::new()
+//!                                           .expect("failed to build runtime")
+//!                                           .block_on(async { BODY })
+//!                                   }
+//! ```
+//!
+//! Supported shapes: a (possibly attributed) `async fn` with no arguments
+//! and no return-type arrow, which is every use in this workspace. Anything
+//! else panics at expansion time with a clear message.
+
+use proc_macro::{Delimiter, Group, Ident, Span, TokenStream, TokenTree};
+
+/// `#[tokio::main]`: run an async `main` on the deterministic runtime.
+#[proc_macro_attribute]
+pub fn main(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    expand(item, false)
+}
+
+/// `#[tokio::test]`: an async test driven to completion on a fresh runtime.
+#[proc_macro_attribute]
+pub fn test(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    expand(item, true)
+}
+
+fn expand(item: TokenStream, is_test: bool) -> TokenStream {
+    let tokens: Vec<TokenTree> = item.into_iter().collect();
+    let Some((TokenTree::Group(body), signature)) = tokens.split_last() else {
+        panic!("#[tokio::main]/#[tokio::test] expects a function item");
+    };
+    assert!(
+        body.delimiter() == Delimiter::Brace,
+        "#[tokio::main]/#[tokio::test] expects a function with a brace body"
+    );
+
+    // Pass the signature through minus the one `async` keyword.
+    let mut out: Vec<TokenTree> = Vec::new();
+    if is_test {
+        out.extend("#[test]".parse::<TokenStream>().expect("static tokens"));
+    }
+    let mut removed_async = false;
+    for tt in signature {
+        if !removed_async {
+            if let TokenTree::Ident(id) = tt {
+                if id.to_string() == "async" {
+                    removed_async = true;
+                    continue;
+                }
+            }
+        }
+        out.push(tt.clone());
+    }
+    assert!(
+        removed_async,
+        "#[tokio::main]/#[tokio::test] only applies to async fns"
+    );
+
+    // New body: ::tokio::runtime::Runtime::new().expect(..).block_on(async BODY)
+    let mut call: Vec<TokenTree> = Vec::new();
+    call.extend(
+        "::tokio::runtime::Runtime::new().expect(\"failed to build runtime\").block_on"
+            .parse::<TokenStream>()
+            .expect("static tokens"),
+    );
+    let arg: Vec<TokenTree> = vec![
+        TokenTree::Ident(Ident::new("async", Span::call_site())),
+        TokenTree::Group(Group::new(Delimiter::Brace, body.stream())),
+    ];
+    call.push(TokenTree::Group(Group::new(
+        Delimiter::Parenthesis,
+        arg.into_iter().collect(),
+    )));
+    out.push(TokenTree::Group(Group::new(
+        Delimiter::Brace,
+        call.into_iter().collect(),
+    )));
+    out.into_iter().collect()
+}

@@ -1,15 +1,93 @@
-//! Placeholder for `tokio`.
+//! Facade over [`fediscope_exec`] exposing the subset of tokio's API this
+//! workspace uses, under tokio's module layout. The `net`-gated code
+//! (`httpwire`, `crawler`, `simnet`, `cli`) compiles unchanged against
+//! either engine; here it runs on the deterministic single-threaded
+//! executor with virtual time and in-memory sockets — fully offline and
+//! bit-reproducible. Point the workspace `tokio` dependency at the registry
+//! to swap the real runtime back in.
 //!
-//! The build environment has no crates.io access, so the real async runtime
-//! cannot be fetched. Every module that needs tokio is feature-gated behind
-//! the non-default `net` cargo feature of its crate (`fediscope_httpwire`,
-//! `fediscope_crawler`, `fediscope_simnet`, `fediscope_cli`, and the
-//! umbrella `fediscope` crate); this empty crate only exists so workspace
-//! dependency resolution succeeds. Building *with* `net` enabled requires
-//! replacing this path dependency with the real `tokio` from crates.io
-//! (one-line change in the workspace manifest once network is available).
+//! Surface covered: `runtime::{Runtime, Builder}`, `spawn`,
+//! `task::JoinHandle`, `time::{sleep, timeout, interval}`,
+//! `net::{TcpListener, TcpStream}`, `io::{AsyncRead*, AsyncWrite*}`,
+//! `sync::{Semaphore, watch}`, `#[tokio::main]`, `#[tokio::test]`, and a
+//! two-branch `select!`.
 
-compile_error!(
-    "the vendored tokio placeholder cannot back the `net` feature; \
-     swap it for the real crates.io tokio to build networked components"
-);
+/// Runtime construction (`Runtime`, `Builder`).
+pub mod runtime {
+    pub use fediscope_exec::runtime::{Builder, Runtime};
+}
+
+/// Task handles and spawning.
+pub mod task {
+    pub use fediscope_exec::runtime::{spawn, JoinError, JoinHandle};
+}
+
+pub use fediscope_exec::runtime::spawn;
+
+/// Virtual time: `sleep`, `timeout`, `interval`.
+pub mod time {
+    pub use fediscope_exec::time::{
+        interval, sleep, timeout, Interval, MissedTickBehavior, Sleep, Timeout,
+    };
+
+    /// Time error types.
+    pub mod error {
+        pub use fediscope_exec::time::Elapsed;
+    }
+}
+
+/// In-memory TCP transport.
+pub mod net {
+    pub use fediscope_exec::net::{TcpListener, TcpStream};
+}
+
+/// Async IO traits and extension methods.
+pub mod io {
+    pub use fediscope_exec::io::{AsyncRead, AsyncReadExt, AsyncWrite, AsyncWriteExt};
+}
+
+/// Synchronisation primitives (`Semaphore`, `watch`).
+pub mod sync {
+    pub use fediscope_exec::sync::{watch, AcquireError, OwnedSemaphorePermit, Semaphore};
+}
+
+/// Combinators backing [`select!`] (not part of tokio's public API).
+pub mod future {
+    pub use fediscope_exec::future::{select2, Either};
+}
+
+pub use tokio_macros::{main, test};
+
+/// Two-branch `select!` over the deterministic executor.
+///
+/// Unlike tokio's, this select is **biased**: branches are polled in
+/// textual order every time, so races resolve identically on every run —
+/// which is the point of the whole crate. Exactly two branches are
+/// supported (the only shape used in this workspace).
+#[macro_export]
+macro_rules! select {
+    (
+        $p1:pat = $f1:expr => $b1:block
+        $p2:pat = $f2:expr => $b2:expr $(,)?
+    ) => {
+        $crate::select!(@impl $p1, $f1, $b1, $p2, $f2, $b2)
+    };
+    (
+        $p1:pat = $f1:expr => $b1:expr,
+        $p2:pat = $f2:expr => $b2:expr $(,)?
+    ) => {
+        $crate::select!(@impl $p1, $f1, $b1, $p2, $f2, $b2)
+    };
+    (@impl $p1:pat, $f1:expr, $b1:expr, $p2:pat, $f2:expr, $b2:expr) => {
+        match $crate::future::select2(::std::pin::pin!($f1), ::std::pin::pin!($f2)).await {
+            $crate::future::Either::Left(__select_out) => {
+                let $p1 = __select_out;
+                $b1
+            }
+            $crate::future::Either::Right(__select_out) => {
+                let $p2 = __select_out;
+                $b2
+            }
+        }
+    };
+}
