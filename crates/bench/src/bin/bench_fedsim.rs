@@ -1,0 +1,295 @@
+//! `bench_fedsim` — drive the federation delivery simulator at scale and
+//! record trajectory points in `BENCH_fedsim.json` (one JSON object per
+//! line, appended — the file is a history, not a snapshot).
+//!
+//! ```text
+//! bench_fedsim [--quick] [--seed N] [--out PATH]
+//!              [--tier paper2019|mid|modern] [--threads N]
+//! ```
+//!
+//! Two gates ride every run:
+//!
+//! 1. **`identical_output`** — the clean run at 1 shard, at `--threads`
+//!    shards, and a fresh replay at `--threads` shards must produce
+//!    bit-identical reports, per-tick series, per-instance loads, and
+//!    `event_hash` (the ISSUE-7 determinism contract).
+//! 2. **`overload_degrades_gracefully`** — the tier's headline overlay
+//!    (the top user-hosting ASes dark for the window) must *degrade*
+//!    the federation, not melt it: deliveries are refused while dark,
+//!    refused mail retries, redelivery recovers traffic after the
+//!    outage ends, and the conservation identity holds — every
+//!    fanned-out message is delivered, dropped, or still accounted for.
+//!
+//! With `--tier`, the named [`ScaleTier`] world runs with the tier's
+//! horizon/outage knobs. Without `--tier`, a small world runs a full
+//! day-scale horizon (shrunk under `--quick` for CI smoke runs; both
+//! gates are enforced in every mode).
+
+use fediscope_simnet::fedsim::{overlay, FanoutArena, FedSim, SimRun};
+use fediscope_simnet::{FedSimConfig, OverlaySpec};
+use fediscope_worldgen::{toots, Generator, ScaleTier, WorldConfig};
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    out: String,
+    tier: Option<ScaleTier>,
+    threads: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        seed: 42,
+        out: "BENCH_fedsim.json".to_string(),
+        tier: None,
+        threads: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => a.quick = true,
+            "--seed" => {
+                a.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--out" => a.out = it.next().expect("--out needs a path"),
+            "--tier" => {
+                let name = it.next().expect("--tier needs a name");
+                a.tier = Some(
+                    ScaleTier::parse(&name)
+                        .unwrap_or_else(|| panic!("unknown tier {name:?} (paper2019|mid|modern)")),
+                );
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+                assert!(t >= 1, "--threads must be at least 1");
+                a.threads = Some(t);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_fedsim [--quick] [--seed N] [--out PATH] \
+                     [--tier paper2019|mid|modern] [--threads N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    a
+}
+
+/// Append one JSON line to the trajectory file (and echo it to stdout).
+fn record(out: &str, json: &str) {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out)
+        .expect("open BENCH_fedsim.json");
+    writeln!(f, "{json}").expect("append BENCH_fedsim.json");
+    println!("{json}");
+}
+
+fn main() {
+    let args = parse_args();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let threads = args.threads.unwrap_or_else(|| cores.min(8)).max(1);
+    eprintln!("shard workers: {threads} (machine offers {cores})");
+    let mode = if args.quick { "quick" } else { "full" };
+
+    // World + toot stream + simulator knobs per mode.
+    let (wcfg, tier_name, horizon, rate_scale) = match args.tier {
+        Some(tier) => (
+            WorldConfig::for_tier(tier, args.seed),
+            Some(tier.name()),
+            tier.fedsim_horizon_epochs(),
+            tier.fedsim_rate_scale(),
+        ),
+        None if args.quick => (WorldConfig::tiny(args.seed), None, 48, 8.0),
+        None => (WorldConfig::small(args.seed), None, 288, 4.0),
+    };
+    let mut clean_cfg = match args.tier {
+        Some(tier) => FedSimConfig::for_tier(tier, args.seed),
+        None => {
+            let mut c = FedSimConfig::new(args.seed);
+            c.drain_epochs = 2 * horizon;
+            c
+        }
+    };
+    clean_cfg.shards = threads as u32;
+    let outage_cfg = match args.tier {
+        Some(tier) => clean_cfg.clone().with_top_as_outage(tier),
+        None => {
+            let mut c = clean_cfg.clone();
+            c.overlay = OverlaySpec::TopAsOutage(3, horizon / 4, horizon / 2);
+            c
+        }
+    };
+    let OverlaySpec::TopAsOutage(outage_ases, outage_start, outage_end) = outage_cfg.overlay
+    else {
+        unreachable!("bench overlay is always a top-AS outage");
+    };
+
+    eprintln!(
+        "generating world ({} instances, {} users) …",
+        wcfg.n_instances, wcfg.n_users
+    );
+    let t0 = Instant::now();
+    let world = Generator::generate_world(wcfg.clone());
+    let gen_s = t0.elapsed().as_secs_f64();
+
+    let t0 = Instant::now();
+    let fanout = FanoutArena::from_world(&world);
+    let toot_arena = toots::generate(&wcfg, &world.users, horizon, rate_scale);
+    let build_s = t0.elapsed().as_secs_f64();
+    let dest_users: Vec<u32> = world.instances.iter().map(|i| i.user_count).collect();
+    eprintln!(
+        "world ready in {gen_s:.1}s: {} instances, {} delivery pairs, \
+         {} toots over {horizon} epochs (arenas built in {build_s:.3}s)",
+        world.instances.len(),
+        fanout.n_pairs(),
+        toot_arena.n_toots()
+    );
+
+    let run = |cfg: &FedSimConfig| -> SimRun {
+        let total = toot_arena.horizon() + cfg.drain_epochs;
+        let arena = overlay::build(&cfg.overlay, &world.instances, total);
+        FedSim::new(cfg.clone(), &fanout, &toot_arena, &dest_users, arena).run()
+    };
+
+    // Gate 1 — determinism: serial vs sharded vs sharded replay.
+    let mut serial_cfg = clean_cfg.clone();
+    serial_cfg.shards = 1;
+    let t0 = Instant::now();
+    let serial = run(&serial_cfg);
+    let serial_s = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let clean = run(&clean_cfg);
+    let sharded_s = t0.elapsed().as_secs_f64();
+    let replay = run(&clean_cfg);
+    let identical = serial == clean && clean == replay;
+    if identical {
+        eprintln!(
+            "identity check passed (1 shard == {threads} shards == replay, \
+             event_hash {:#018x})",
+            clean.report.event_hash
+        );
+    } else {
+        eprintln!("FAIL — shard counts or replays diverged");
+    }
+
+    // Gate 2 — the outage overlay degrades gracefully.
+    let t0 = Instant::now();
+    let hit = run(&outage_cfg);
+    let outage_s = t0.elapsed().as_secs_f64();
+    let post_outage_delivered: u64 = hit
+        .series
+        .iter()
+        .skip(outage_end as usize)
+        .map(|s| s.delivered as u64)
+        .sum();
+    let peak_backlog = hit.series.iter().map(|s| s.backlog).max().unwrap_or(0);
+    // Note: total redeliveries are NOT compared against the clean run —
+    // authors on dark instances post nothing, so the outage also
+    // suppresses fan-out (and with it the clean run's backpressure
+    // retries). Grace is the recovery signal itself: refused mail
+    // exists, it retried, suspensions lifted, traffic flowed again.
+    let graceful = hit.report.conserved()
+        && hit.report.rejected_down > 0
+        && hit.report.redelivery_attempts > 0
+        && hit.report.recovered_suspensions > 0
+        && post_outage_delivered > 0;
+    if graceful {
+        eprintln!(
+            "degradation check passed: {} refused while dark, {} redeliveries, \
+             {} delivered after the outage lifted, peak backlog {}",
+            hit.report.rejected_down,
+            hit.report.redelivery_attempts,
+            post_outage_delivered,
+            peak_backlog
+        );
+    } else {
+        eprintln!("FAIL — outage run lost mail or never recovered");
+    }
+    eprintln!(
+        "timings: serial {serial_s:.3}s, {threads}-shard {sharded_s:.3}s \
+         ({:.2}x), outage run {outage_s:.3}s",
+        serial_s / sharded_s
+    );
+
+    let r = &hit.report;
+    record(
+        &args.out,
+        &format!(
+            "{{\"bench\":\"fedsim_delivery\",\"tier\":{tier},\"mode\":\"{mode}\",\
+             \"shards\":{threads},\"cores\":{cores},\"seed\":{seed},\
+             \"instances\":{inst},\"users\":{users},\"pairs\":{pairs},\
+             \"toots\":{toots},\"horizon\":{horizon},\
+             \"outage_ases\":{outage_ases},\"outage_start\":{outage_start},\
+             \"outage_end\":{outage_end},\
+             \"fanned_out\":{fanned},\"delivered_prompt\":{dp},\
+             \"delivered_delayed\":{dd},\"dropped\":{dropped},\
+             \"undeliverable\":{undel},\"suspended_undeliverable\":{susp_undel},\
+             \"rejected_full\":{rfull},\"rejected_down\":{rdown},\
+             \"redelivery_attempts\":{redel},\"suspensions\":{susp},\
+             \"recovered_suspensions\":{rec},\"amplification\":{amp:.4},\
+             \"mean_latency\":{lat:.4},\"peak_backlog\":{peak_backlog},\
+             \"post_outage_delivered\":{post_outage_delivered},\
+             \"time_to_drain\":{ttd},\"drained\":{drained},\
+             \"event_hash\":{hash},\"clean_event_hash\":{chash},\
+             \"gen_seconds\":{gen_s:.3},\"serial_seconds\":{serial_s:.4},\
+             \"sharded_seconds\":{sharded_s:.4},\"outage_seconds\":{outage_s:.4},\
+             \"conserved\":{conserved},\"identical_output\":{identical},\
+             \"overload_degrades_gracefully\":{graceful}}}",
+            tier = tier_name
+                .map(|t| format!("\"{t}\""))
+                .unwrap_or_else(|| "null".to_string()),
+            seed = args.seed,
+            inst = world.instances.len(),
+            users = world.users.len(),
+            pairs = fanout.n_pairs(),
+            toots = toot_arena.n_toots(),
+            fanned = r.fanned_out,
+            dp = r.delivered_prompt,
+            dd = r.delivered_delayed,
+            dropped = r.dropped,
+            undel = r.undeliverable,
+            susp_undel = r.suspended_undeliverable,
+            rfull = r.rejected_full,
+            rdown = r.rejected_down,
+            redel = r.redelivery_attempts,
+            susp = r.suspensions,
+            rec = r.recovered_suspensions,
+            amp = r.amplification,
+            lat = r.mean_latency,
+            ttd = r.time_to_drain,
+            drained = r.drained,
+            hash = r.event_hash,
+            chash = clean.report.event_hash,
+            conserved = r.conserved(),
+        ),
+    );
+
+    let mut fail = false;
+    if !identical {
+        eprintln!("FAIL: the transcript is shard-count- or replay-dependent");
+        fail = true;
+    }
+    if !graceful {
+        eprintln!("FAIL: the outage overlay did not degrade gracefully");
+        fail = true;
+    }
+    if fail {
+        std::process::exit(1);
+    }
+}

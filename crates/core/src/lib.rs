@@ -10,6 +10,8 @@
 //! - [`availability`]: Figs. 7–10 and Table 1 (§4.4),
 //! - [`graphs`]: Figs. 11–13 and Table 2 (§5.1),
 //! - [`content`]: Figs. 14–16 (§5.2),
+//! - [`delivery`]: the live §3 — the federation delivery simulator's
+//!   load-concentration and outage-degradation runs,
 //! - [`extensions`]: the paper's stated future work (instance blocking),
 //! - [`verdicts`]: automated paper-vs-measured shape checks,
 //! - [`report`]: plain-text rendering shared by the repro binary and the
@@ -19,6 +21,7 @@
 #![warn(missing_docs)]
 
 pub mod availability;
+pub mod delivery;
 pub mod extensions;
 pub mod content;
 pub mod graphs;

@@ -3,6 +3,7 @@
 
 use crate::availability::{Fig07Downtime, Fig08DailyDowntime, Fig09Certificates, Fig10Outages};
 use crate::content::{Fig14RemoteRatio, Fig15Replication, Fig16RandomReplication};
+use crate::delivery::Section3Live;
 use crate::graphs::{Fig11Degrees, Fig12UserRemoval, Fig13FederationRemoval, Table2Row};
 use crate::population::{
     Fig01Growth, Fig02OpenClosed, Fig03Categories, Fig04Policies, Fig05Hosting, Fig06CountryLinks,
@@ -279,6 +280,61 @@ pub fn render_table1(rows: &[AsFailureRow]) -> String {
     )
 }
 
+/// Render the live §3 delivery-simulator result: load concentration on
+/// the clean run, then the outage overlay's degradation and recovery.
+pub fn render_section3_live(s: &Section3Live) -> String {
+    let top5: Vec<Vec<String>> = s
+        .load
+        .top5
+        .iter()
+        .map(|&(inst, d)| {
+            vec![
+                inst.to_string(),
+                d.to_string(),
+                pct(if s.load.delivered_total > 0 {
+                    d as f64 / s.load.delivered_total as f64
+                } else {
+                    0.0
+                }),
+            ]
+        })
+        .collect();
+    format!(
+        "Section 3 (live) — federation delivery under load\n\
+         clean run : {} fanned out, {} delivered ({} prompt), amplification {:.3}\n\
+         load share: top 1% of instances take {}, top 10% take {}\n\
+         {}\
+         outage run: {} refused while dark, {} extra redeliveries, {} deliveries delayed\n\
+         amplification ×{:.2}, peak backlog {}, suspensions {} ({} recovered)\n\
+         {}\n",
+        s.clean.fanned_out,
+        s.clean.delivered(),
+        s.clean.delivered_prompt,
+        s.clean.amplification,
+        pct(s.load.top1pct_share),
+        pct(s.load.top10pct_share),
+        table(&["Instance", "Delivered", "Share"], &top5),
+        s.degradation.rejected_down,
+        s.degradation.extra_redeliveries,
+        s.degradation.extra_delayed,
+        s.degradation.amplification_ratio,
+        s.degradation.peak_backlog,
+        s.degradation.suspensions,
+        s.degradation.recovered_suspensions,
+        if s.degradation.healed {
+            format!(
+                "healed: every queue drained {} ticks past the horizon",
+                s.degradation.time_to_drain
+            )
+        } else {
+            format!(
+                "did NOT heal: {} messages still stranded when the drain budget expired",
+                s.outage.undeliverable
+            )
+        },
+    )
+}
+
 /// Render Fig. 10.
 pub fn render_fig10(f: &Fig10Outages) -> String {
     format!(
@@ -521,5 +577,25 @@ mod tests {
         assert!(!render_fig14(&crate::content::fig14_remote_ratio(&obs)).is_empty());
         assert!(!render_fig15(&crate::content::fig15_replication(&obs, 10, 5)).is_empty());
         assert!(!render_fig16(&crate::content::fig16_random_replication(&obs, 10)).is_empty());
+    }
+
+    #[test]
+    fn render_section3_live_smoke() {
+        use fediscope_simnet::fedsim::OverlaySpec;
+        use fediscope_simnet::FedSimConfig;
+        use fediscope_worldgen::{toots, Generator, WorldConfig};
+        let wcfg = WorldConfig::tiny(99);
+        let world = Generator::generate_world(wcfg.clone());
+        let arena = toots::generate(&wcfg, &world.users, 32, 8.0);
+        let obs = crate::Observatory::new(world);
+        let mut clean = FedSimConfig::new(5);
+        clean.drain_epochs = 64;
+        let mut outage = clean.clone();
+        outage.overlay = OverlaySpec::TopAsOutage(2, 4, 16);
+        let s3 = crate::delivery::section3_live(&obs, &arena, clean, outage);
+        let text = render_section3_live(&s3);
+        assert!(text.contains("Section 3 (live)"));
+        assert!(text.contains("load share"));
+        assert!(text.contains("outage run"));
     }
 }

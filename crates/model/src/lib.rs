@@ -18,7 +18,9 @@
 //! - [`datasets`]: the *measured* datasets a crawler produces (the study's
 //!   "Instances", "Toots" and "Graphs" datasets),
 //! - [`scale`]: named world-scale tiers (paper-2019 / mid / modern) shared
-//!   by the generator, the analyses, and the benchmarks.
+//!   by the generator, the analyses, and the benchmarks,
+//! - [`traffic`]: tick-major toot-event arenas feeding the federation
+//!   delivery simulator.
 //!
 //! The model deliberately distinguishes ground truth ([`world::World`]) from
 //! measurement ([`datasets`]): the paper only ever sees the latter, and our
@@ -36,6 +38,7 @@ pub mod scale;
 pub mod schedule;
 pub mod taxonomy;
 pub mod time;
+pub mod traffic;
 pub mod user;
 pub mod world;
 
@@ -47,5 +50,6 @@ pub use scale::ScaleTier;
 pub use schedule::{AvailabilitySchedule, Outage, OutageCause};
 pub use taxonomy::{Activity, Category, PolicySet};
 pub use time::{Day, Epoch, EPOCHS_PER_DAY, WINDOW_DAYS, WINDOW_EPOCHS};
+pub use traffic::TootArena;
 pub use user::UserProfile;
 pub use world::World;

@@ -151,6 +151,44 @@ impl ScaleTier {
     pub fn fig08_day_stride(self) -> u32 {
         1
     }
+
+    // --- delivery-simulator knobs (simnet::fedsim) ---
+
+    /// Toot-emission horizon of the delivery simulation, in 5-minute ticks
+    /// (one simulated day at every tier: the §3 load-concentration shape is
+    /// per-rate, not per-duration, and one day keeps the modern tier's
+    /// ~7M-message fan-out inside a bench budget).
+    pub fn fedsim_horizon_epochs(self) -> u32 {
+        crate::time::EPOCHS_PER_DAY
+    }
+
+    /// Extra ticks the simulator may run past the horizon to drain queues
+    /// and flush redelivery backlogs before declaring leftovers
+    /// undeliverable.
+    pub fn fedsim_drain_epochs(self) -> u32 {
+        2 * crate::time::EPOCHS_PER_DAY
+    }
+
+    /// Global multiplier on per-user toot rates for the simulation window
+    /// (1.0 = the paper's measured lifetime rates spread uniformly over the
+    /// measurement window).
+    pub fn fedsim_rate_scale(self) -> f64 {
+        1.0
+    }
+
+    /// How many top-ranked ASes the degradation overlay takes down (the
+    /// paper's §4 headline: the top-5 ASes host the majority of users).
+    pub fn fedsim_outage_ases(self) -> usize {
+        5
+    }
+
+    /// The overlay outage window `[start, end)` in simulation ticks:
+    /// one quarter of the horizon in, lasting a quarter — leaving half the
+    /// horizon plus the drain budget to observe redelivery recovery.
+    pub fn fedsim_outage_window(self) -> (u32, u32) {
+        let h = self.fedsim_horizon_epochs();
+        (h / 4, h / 2)
+    }
 }
 
 impl std::fmt::Display for ScaleTier {

@@ -330,6 +330,93 @@ impl OutageArena {
     pub fn views(&self) -> impl Iterator<Item = ScheduleView<'_>> {
         (0..self.len()).map(|i| self.view(i))
     }
+
+    /// Build an arena from an **unsorted** interval stream — the ingest path
+    /// for crawlers and overlay generators that observe outages in arrival
+    /// order, not instance-then-start order.
+    ///
+    /// `lifetimes[i]` is instance `i`'s `[birth, death)`; each raw interval
+    /// is `(instance, start, end, cause)` in any order, overlapping freely.
+    /// The build is two linear passes (counting sort by instance, stable on
+    /// input order) plus a per-instance sort + merge, so a pre-sorted
+    /// producer is never required and never faster.
+    ///
+    /// The result is **bit-identical** to routing the same stream through
+    /// [`AvailabilitySchedule::add_outage`] in input order and then
+    /// [`OutageArena::from_schedules`] (proptest-enforced): intervals are
+    /// clipped to the lifetime and the measurement window, empty intervals
+    /// are dropped, overlapping/adjacent intervals merge, and a merged
+    /// interval's cause is that of its earliest-starting member — with the
+    /// later-arriving interval winning a start-epoch tie, exactly like
+    /// repeated `add_outage` calls.
+    pub fn from_unsorted(
+        lifetimes: &[(Epoch, Epoch)],
+        intervals: impl IntoIterator<Item = (u32, Epoch, Epoch, OutageCause)>,
+    ) -> Self {
+        let n = lifetimes.len();
+        for &(birth, death) in lifetimes {
+            assert!(birth.0 <= death.0, "birth after death");
+        }
+        // Pass 0: clip to lifetime + window (the add_outage rule), dropping
+        // empties, so the sort only handles surviving intervals.
+        let mut raw: Vec<(u32, u32, u32, OutageCause)> = Vec::new();
+        for (inst, start, end, cause) in intervals {
+            let i = inst as usize;
+            assert!(i < n, "interval for unknown instance {inst}");
+            let (birth, death) = lifetimes[i];
+            let lo = birth.0.max(start.0);
+            let hi = death.0.min(end.0).min(WINDOW_EPOCHS);
+            if lo < hi {
+                raw.push((inst, lo, hi, cause));
+            }
+        }
+        // Pass 1+2: counting sort by instance, stable on arrival order.
+        let mut counts = vec![0u32; n + 1];
+        for &(inst, ..) in &raw {
+            counts[inst as usize + 1] += 1;
+        }
+        for i in 0..n {
+            counts[i + 1] += counts[i];
+        }
+        let mut grouped: Vec<(u32, u32, OutageCause)> =
+            vec![(0, 0, OutageCause::Organic); raw.len()];
+        let mut cursor = counts.clone();
+        for &(inst, lo, hi, cause) in &raw {
+            let c = &mut cursor[inst as usize];
+            grouped[*c as usize] = (lo, hi, cause);
+            *c += 1;
+        }
+        drop(raw);
+        // Per instance: stable sort by start (ties keep arrival order, so
+        // the cause tie-break below reproduces add_outage's last-arrival
+        // rule), then a single merging walk.
+        let mut b = Self::builder(n, grouped.len());
+        for (i, &(birth, death)) in lifetimes.iter().enumerate() {
+            b.push_instance(birth, death);
+            let slice = &mut grouped[counts[i] as usize..counts[i + 1] as usize];
+            slice.sort_by_key(|&(lo, ..)| lo);
+            let mut iter = slice.iter().copied();
+            let Some((mut lo, mut hi, mut cause)) = iter.next() else {
+                continue;
+            };
+            for (nlo, nhi, ncause) in iter {
+                if nlo <= hi {
+                    // Overlapping or touching: extend. A start-epoch tie
+                    // hands the cause to the later arrival (add_outage's
+                    // strict `<` comparison does the same).
+                    if nlo == lo {
+                        cause = ncause;
+                    }
+                    hi = hi.max(nhi);
+                } else {
+                    b.push_outage(Epoch(lo), Epoch(hi), cause);
+                    (lo, hi, cause) = (nlo, nhi, ncause);
+                }
+            }
+            b.push_outage(Epoch(lo), Epoch(hi), cause);
+        }
+        b.finish()
+    }
 }
 
 /// Streaming builder for [`OutageArena`]: push instances in order, then
@@ -693,6 +780,65 @@ mod tests {
         b.push_instance(Epoch(100), Epoch(200));
         b.push_outage(Epoch(50), Epoch(150), OutageCause::Organic);
     }
+
+    #[test]
+    fn from_unsorted_matches_schedule_route() {
+        // Intervals arrive interleaved across instances, out of order, and
+        // overlapping; the counting-sort ingest must equal the add_outage
+        // route exactly.
+        let stream = [
+            (1u32, Epoch(300), Epoch(400), OutageCause::AsFailure),
+            (0, Epoch(100), Epoch(200), OutageCause::Organic),
+            (1, Epoch(50), Epoch(310), OutageCause::CertExpiry),
+            (0, Epoch(150), Epoch(250), OutageCause::AsFailure),
+            (2, Epoch(0), Epoch(WINDOW_EPOCHS), OutageCause::Organic),
+            (0, Epoch(900), Epoch(950), OutageCause::CertExpiry),
+        ];
+        let lifetimes = [
+            (Epoch(0), Epoch(WINDOW_EPOCHS)),
+            (Epoch(0), Epoch(WINDOW_EPOCHS)),
+            (Day(10).start_epoch(), Day(20).start_epoch()),
+        ];
+        let mut schedules: Vec<AvailabilitySchedule> = vec![
+            AvailabilitySchedule::new(Day(0), None),
+            AvailabilitySchedule::new(Day(0), None),
+            AvailabilitySchedule::new(Day(10), Some(Day(20))),
+        ];
+        for &(inst, s, e, c) in &stream {
+            schedules[inst as usize].add_outage(s, e, c);
+        }
+        let via_schedules = OutageArena::from_schedules(&schedules);
+        let via_unsorted = OutageArena::from_unsorted(&lifetimes, stream.iter().copied());
+        assert_eq!(via_unsorted, via_schedules);
+        // merged as expected
+        assert_eq!(via_unsorted.view(0).outage_count(), 2);
+        assert_eq!(via_unsorted.view(1).outage_count(), 1);
+        assert_eq!(via_unsorted.view(1).outage(0).cause, OutageCause::CertExpiry);
+    }
+
+    #[test]
+    fn from_unsorted_empty_and_out_of_lifetime() {
+        let lifetimes = [(Epoch(100), Epoch(200))];
+        let arena = OutageArena::from_unsorted(
+            &lifetimes,
+            [
+                (0u32, Epoch(10), Epoch(50), OutageCause::Organic), // before birth
+                (0, Epoch(500), Epoch(600), OutageCause::Organic),  // after death
+                (0, Epoch(150), Epoch(150), OutageCause::Organic),  // empty
+            ],
+        );
+        assert_eq!(arena.len(), 1);
+        assert_eq!(arena.n_outages(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown instance")]
+    fn from_unsorted_rejects_unknown_instance() {
+        let _ = OutageArena::from_unsorted(
+            &[(Epoch(0), Epoch(100))],
+            [(3u32, Epoch(1), Epoch(2), OutageCause::Organic)],
+        );
+    }
 }
 
 #[cfg(test)]
@@ -771,6 +917,44 @@ mod prop_tests {
                     s.downtime_fraction().to_bits()
                 );
             }
+        }
+
+        /// The counting-sort ingest of an arbitrary unsorted interval soup
+        /// is bit-identical to inserting the same stream through
+        /// `add_outage` (in arrival order) and building from schedules —
+        /// including merge extents and cause tie-breaks.
+        #[test]
+        fn unsorted_ingest_matches_sorted_build(
+            n_inst in 1usize..7,
+            stream in proptest::collection::vec(
+                (0u32..7, 0u32..3_000, 0u32..3_000, 0usize..3), 0..60),
+            lives in proptest::collection::vec((0u32..9, 0u32..12), 7),
+        ) {
+            let causes = [OutageCause::Organic, OutageCause::CertExpiry,
+                          OutageCause::AsFailure];
+            let mut schedules = Vec::new();
+            let mut lifetimes = Vec::new();
+            for &(created, retired) in lives.iter().take(n_inst) {
+                // values ≥ 10 decode to "never retired"
+                let retired = (retired < 10).then(|| Day(created.max(retired)));
+                let s = AvailabilitySchedule::new(Day(created), retired);
+                lifetimes.push((s.birth_epoch(), s.death_epoch()));
+                schedules.push(s);
+            }
+            let stream: Vec<(u32, Epoch, Epoch, OutageCause)> = stream
+                .into_iter()
+                .map(|(inst, a, b, c)| {
+                    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                    (inst % n_inst as u32, Epoch(lo), Epoch(hi), causes[c])
+                })
+                .collect();
+            for &(inst, s, e, c) in &stream {
+                schedules[inst as usize].add_outage(s, e, c);
+            }
+            let sorted_build = OutageArena::from_schedules(&schedules);
+            let unsorted_build =
+                OutageArena::from_unsorted(&lifetimes, stream.iter().copied());
+            prop_assert_eq!(unsorted_build, sorted_build);
         }
 
         /// down + up epochs == live epochs over any range.

@@ -1,0 +1,569 @@
+//! The deterministic discrete-event core: a tick-synchronous BSP loop.
+//!
+//! Each tick runs four phases, every one either serial or sharded over
+//! *disjoint* per-instance state with outputs re-concatenated in instance
+//! order — so the transcript is bit-identical at any shard count:
+//!
+//! 1. **Fan-out** (serial): toots posted this tick become messages, one
+//!    per (home → follower-instance) pair, `seq` assigned in canonical
+//!    author order.
+//! 2. **Phase S** (sharded by source): each live source emits attempts in
+//!    fixed order — redelivery due, then probes (ascending destination),
+//!    then new messages; anything aimed at a suspended destination parks.
+//! 3. **Phase D** (sharded by destination): the outage overlay and the
+//!    bounded inbox judge every attempt (stable-grouped by destination);
+//!    live inboxes then service up to their rate.
+//! 4. **Phase R** (sharded by source): verdicts (stable-grouped back by
+//!    source) drive the retry/backoff/suspension state machines.
+//!
+//! Between phases, stable counting sorts regroup events; within a group
+//! events keep the order the previous phase emitted them in.
+
+use fediscope_model::schedule::OutageArena;
+use fediscope_model::time::Epoch;
+use fediscope_model::TootArena;
+
+use super::events::{Attempt, Msg, Outcome, Verdict, PROBE_SEQ};
+use super::fanout::FanoutArena;
+use super::metrics::{percentile, DeliveryReport, SimRun, TickStat};
+use super::queues::DestState;
+use super::redelivery::backoff_delay;
+use super::suspension::SourceState;
+use super::FedSimConfig;
+
+/// Run `f` over every state, split into `shards` contiguous chunks on
+/// scoped threads; results come back in state order for *any* shard
+/// count (chunks are contiguous and outputs are stitched chunk-major).
+fn shard_map<S, R, F>(shards: usize, states: &mut [S], f: F) -> Vec<R>
+where
+    S: Send,
+    R: Send,
+    F: Fn(usize, &mut S) -> R + Sync,
+{
+    let n = states.len();
+    if shards <= 1 || n <= 1 {
+        return states.iter_mut().enumerate().map(|(i, s)| f(i, s)).collect();
+    }
+    let chunk = n.div_ceil(shards.min(n));
+    let mut per_chunk: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = states
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(c, slice)| {
+                scope.spawn(move || {
+                    slice
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, s)| f(c * chunk + i, s))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|e| std::panic::resume_unwind(e)))
+            .collect()
+    });
+    let mut flat = Vec::with_capacity(n);
+    for v in &mut per_chunk {
+        flat.append(v);
+    }
+    flat
+}
+
+/// Stable counting sort of `items` into a CSR grouped by `key` (< `n`):
+/// returns `(offsets, grouped)` with `offsets.len() == n + 1`; within a
+/// group, items keep their input order.
+fn csr_group<T: Copy, K: Fn(&T) -> u32>(n: usize, items: &[T], key: K) -> (Vec<u32>, Vec<T>) {
+    let mut counts = vec![0u32; n];
+    for it in items {
+        counts[key(it) as usize] += 1;
+    }
+    let mut offsets = vec![0u32; n + 1];
+    let mut acc = 0u32;
+    for i in 0..n {
+        offsets[i] = acc;
+        acc += counts[i];
+    }
+    offsets[n] = acc;
+    let Some(&first) = items.first() else {
+        return (offsets, Vec::new());
+    };
+    // Scatter without uninitialised memory: fill with a copy of the first
+    // item, then overwrite every slot via the cursor walk.
+    let mut grouped = vec![first; items.len()];
+    let mut cursor: Vec<u32> = offsets[..n].to_vec();
+    for &it in items {
+        let at = &mut cursor[key(&it) as usize];
+        grouped[*at as usize] = it;
+        *at += 1;
+    }
+    (offsets, grouped)
+}
+
+/// The federation delivery simulator. Construct with [`FedSim::new`],
+/// consume with [`FedSim::run`].
+pub struct FedSim<'a> {
+    cfg: FedSimConfig,
+    fanout: &'a FanoutArena,
+    toots: &'a TootArena,
+    outages: OutageArena,
+    sources: Vec<SourceState>,
+    dests: Vec<DestState>,
+    tick: u32,
+    horizon: u32,
+    total_ticks: u32,
+    next_seq: u32,
+    fanned_out: u64,
+    delivered_total: u64,
+    dropped_total: u64,
+    probes_total: u64,
+    attempts_total: u64,
+    rejected_full_total: u64,
+    rejected_down_total: u64,
+    series: Vec<TickStat>,
+}
+
+impl<'a> FedSim<'a> {
+    /// Assemble a simulator over a fan-out topology, a toot arena, the
+    /// per-instance local user counts (scales inbox service rates), and
+    /// an outage overlay on the simulation clock (see
+    /// [`super::overlay::build`]).
+    pub fn new(
+        cfg: FedSimConfig,
+        fanout: &'a FanoutArena,
+        toots: &'a TootArena,
+        dest_users: &[u32],
+        outages: OutageArena,
+    ) -> Self {
+        let n = fanout.n_instances();
+        assert_eq!(dest_users.len(), n, "one user count per instance");
+        assert_eq!(outages.len(), n, "overlay must cover every instance");
+        let horizon = toots.horizon();
+        let total_ticks = horizon + cfg.drain_epochs;
+        let dests = dest_users
+            .iter()
+            .map(|&u| DestState::new(u, cfg.service_per_kuser, cfg.min_service, cfg.backlog_ticks))
+            .collect();
+        FedSim {
+            sources: (0..n).map(|_| SourceState::default()).collect(),
+            dests,
+            tick: 0,
+            horizon,
+            total_ticks,
+            next_seq: 0,
+            fanned_out: 0,
+            delivered_total: 0,
+            dropped_total: 0,
+            probes_total: 0,
+            attempts_total: 0,
+            rejected_full_total: 0,
+            rejected_down_total: 0,
+            series: Vec::with_capacity(total_ticks as usize),
+            cfg,
+            fanout,
+            toots,
+            outages,
+        }
+    }
+
+    /// Messages in flight (created but not yet delivered or dropped).
+    fn backlog(&self) -> u64 {
+        self.fanned_out - self.delivered_total - self.dropped_total
+    }
+
+    /// Advance one tick through all four phases.
+    fn step(&mut self) {
+        let t = self.tick;
+        let n = self.fanout.n_instances();
+        let shards = (self.cfg.shards as usize).max(1);
+        let mut stat = TickStat::default();
+
+        // Phase 1 — fan-out (serial; seq numbers are globally ordered).
+        let mut fresh: Vec<(u32, Msg)> = Vec::new();
+        for &author in self.toots.authors_at(t) {
+            let src = self.fanout.home(author);
+            if !self.outages.view(src as usize).is_up(Epoch(t)) {
+                continue; // the author's instance is down: nothing is posted
+            }
+            for &dst in self.fanout.dsts(author) {
+                fresh.push((src, Msg { seq: self.next_seq, dst, created: t, attempts: 0 }));
+                self.next_seq += 1;
+            }
+        }
+        stat.fanned = fresh.len() as u32;
+        self.fanned_out += fresh.len() as u64;
+        let (new_off, new_by_src) = csr_group(n, &fresh, |&(src, _)| src);
+
+        // Phase S — sharded by source: emit attempts in canonical order.
+        let outages = &self.outages;
+        let cfg = &self.cfg;
+        let emitted: Vec<Vec<Attempt>> = shard_map(shards, &mut self.sources, |i, s| {
+            let mut out: Vec<Attempt> = Vec::new();
+            if !outages.view(i).is_up(Epoch(t)) {
+                return out; // a down instance's delivery workers are paused
+            }
+            while let Some(msg) = s.retry.pop_due(t) {
+                if s.is_suspended(msg.dst) {
+                    s.park(msg);
+                } else {
+                    s.redelivery_attempts += 1;
+                    out.push(Attempt { src: i as u32, msg, probe: false });
+                }
+            }
+            for (&dst, susp) in s.suspended.iter_mut() {
+                if susp.probe_due <= t {
+                    susp.probe_due = t + cfg.probe_interval;
+                    let msg = Msg { seq: PROBE_SEQ, dst, created: t, attempts: 0 };
+                    out.push(Attempt { src: i as u32, msg, probe: true });
+                }
+            }
+            for &(_, msg) in
+                &new_by_src[new_off[i] as usize..new_off[i + 1] as usize]
+            {
+                if s.is_suspended(msg.dst) {
+                    s.park(msg);
+                } else {
+                    out.push(Attempt { src: i as u32, msg, probe: false });
+                }
+            }
+            out
+        });
+        let attempts: Vec<Attempt> = emitted.into_iter().flatten().collect();
+        let probes = attempts.iter().filter(|a| a.probe).count() as u32;
+        stat.probes = probes;
+        stat.attempts = attempts.len() as u32 - probes;
+        self.probes_total += probes as u64;
+        self.attempts_total += stat.attempts as u64;
+
+        // Phase D — sharded by destination: admit + service.
+        let (att_off, att_by_dst) = csr_group(n, &attempts, |a| a.msg.dst);
+        let dest_out: Vec<(Vec<Outcome>, u32)> =
+            shard_map(shards, &mut self.dests, |j, d| {
+                let down = !outages.view(j).is_up(Epoch(t));
+                let slice = &att_by_dst[att_off[j] as usize..att_off[j + 1] as usize];
+                let mut outs = Vec::with_capacity(slice.len());
+                for &attempt in slice {
+                    let verdict = d.admit(t, attempt.msg, attempt.probe, down);
+                    outs.push(Outcome { attempt, verdict });
+                }
+                let (delivered, _) = if down { (0, 0) } else { d.service(t) };
+                (outs, delivered)
+            });
+        let mut outcomes: Vec<Outcome> = Vec::with_capacity(attempts.len());
+        for (outs, delivered) in dest_out {
+            stat.delivered += delivered;
+            outcomes.extend(outs);
+        }
+        self.delivered_total += stat.delivered as u64;
+        for o in &outcomes {
+            match o.verdict {
+                Verdict::Accepted => stat.accepted += 1,
+                Verdict::RejectedFull => stat.rejected_full += 1,
+                Verdict::RejectedDown => stat.rejected_down += 1,
+            }
+        }
+        self.rejected_full_total += stat.rejected_full as u64;
+        self.rejected_down_total += stat.rejected_down as u64;
+
+        // Phase R — sharded by source: verdicts drive retry/suspension.
+        let (out_off, out_by_src) = csr_group(n, &outcomes, |o| o.attempt.src);
+        let dropped: Vec<u32> = shard_map(shards, &mut self.sources, |i, s| {
+            let slice = &out_by_src[out_off[i] as usize..out_off[i + 1] as usize];
+            let mut dropped_now = 0u32;
+            for &Outcome { attempt, verdict } in slice {
+                let dst = attempt.msg.dst;
+                s.digest.fold_all(&[
+                    t as u64,
+                    dst as u64,
+                    attempt.msg.seq as u64,
+                    attempt.msg.attempts as u64,
+                    attempt.probe as u64,
+                    verdict.code(),
+                ]);
+                if attempt.probe {
+                    if verdict == Verdict::Accepted {
+                        // Reachable again: catch-up burst next tick.
+                        s.unsuspend(dst, t + 1);
+                    }
+                    continue; // failed probe: the next one is already scheduled
+                }
+                match verdict {
+                    Verdict::Accepted => s.breaker_reset(dst),
+                    Verdict::RejectedFull | Verdict::RejectedDown => {
+                        let mut msg = attempt.msg;
+                        msg.attempts += 1;
+                        if msg.attempts >= cfg.max_attempts {
+                            s.dropped += 1;
+                            dropped_now += 1;
+                        } else if s.is_suspended(dst) {
+                            // an earlier outcome this tick tripped the breaker
+                            s.park(msg);
+                        } else if s.breaker_trip(dst) >= cfg.suspend_after {
+                            s.suspend(dst, msg, t + cfg.probe_interval);
+                        } else {
+                            let delay = backoff_delay(
+                                cfg.backoff_base,
+                                cfg.backoff_cap,
+                                cfg.jitter,
+                                cfg.seed,
+                                msg,
+                            );
+                            s.retry.push(t + delay, msg);
+                        }
+                    }
+                }
+            }
+            dropped_now
+        });
+        stat.dropped = dropped.iter().sum();
+        self.dropped_total += stat.dropped as u64;
+        stat.backlog = self.backlog();
+        self.series.push(stat);
+        self.tick += 1;
+    }
+
+    /// Run to completion: through the toot horizon, then drain until all
+    /// queues empty or the drain budget expires.
+    pub fn run(mut self) -> SimRun {
+        while self.tick < self.total_ticks {
+            if self.tick >= self.horizon && self.backlog() == 0 {
+                break;
+            }
+            self.step();
+        }
+        self.finalize()
+    }
+
+    fn finalize(self) -> SimRun {
+        let drained = self.backlog() == 0;
+        let time_to_drain = if drained {
+            (self.tick.max(self.horizon) - self.horizon) as i64
+        } else {
+            -1
+        };
+
+        let mut undeliverable = 0u64;
+        let mut suspended_undeliverable = 0u64;
+        let mut dropped = 0u64;
+        let mut redelivery_attempts = 0u64;
+        let mut suspensions = 0u64;
+        let mut recovered = 0u64;
+        let mut hash = super::events::EventDigest::default();
+        for s in &self.sources {
+            undeliverable += s.backlog() as u64;
+            suspended_undeliverable += s.parked_len() as u64;
+            dropped += s.dropped;
+            redelivery_attempts += s.redelivery_attempts;
+            suspensions += s.suspensions;
+            recovered += s.recovered;
+            hash.fold(s.digest.value());
+        }
+
+        let mut delivered_prompt = 0u64;
+        let mut delivered_delayed = 0u64;
+        let mut latency_sum = 0u64;
+        let mut peak_depth = 0u32;
+        let mut peak_instance = 0u32;
+        let mut saturated = 0u32;
+        let mut first_sat: Option<(u32, u32)> = None;
+        let mut depths: Vec<u32> = Vec::with_capacity(self.dests.len());
+        let mut delivered_per_instance: Vec<u64> = Vec::with_capacity(self.dests.len());
+        for (j, d) in self.dests.iter().enumerate() {
+            undeliverable += d.backlog() as u64;
+            delivered_prompt += d.delivered_prompt;
+            delivered_delayed += d.delivered_delayed;
+            latency_sum += d.latency_sum;
+            delivered_per_instance.push(d.delivered_prompt + d.delivered_delayed);
+            depths.push(d.peak_depth);
+            if d.peak_depth > peak_depth {
+                peak_depth = d.peak_depth;
+                peak_instance = j as u32;
+            }
+            if let Some(t0) = d.first_saturated {
+                saturated += 1;
+                if first_sat.is_none_or(|(bt, _)| t0 < bt) {
+                    first_sat = Some((t0, j as u32));
+                }
+            }
+            hash.fold(d.digest.value());
+        }
+        depths.sort_unstable();
+        let delivered = delivered_prompt + delivered_delayed;
+
+        let report = DeliveryReport {
+            overlay: self.cfg.overlay.clone(),
+            fanned_out: self.fanned_out,
+            delivered_prompt,
+            delivered_delayed,
+            dropped,
+            undeliverable,
+            suspended_undeliverable,
+            attempts: self.attempts_total,
+            redelivery_attempts,
+            probes: self.probes_total,
+            rejected_full: self.rejected_full_total,
+            rejected_down: self.rejected_down_total,
+            suspensions,
+            recovered_suspensions: recovered,
+            peak_inbox_depth: peak_depth,
+            peak_inbox_instance: peak_instance,
+            saturated_instances: saturated,
+            first_saturation_tick: first_sat.map_or(-1, |(t, _)| t as i64),
+            first_saturation_instance: first_sat.map_or(-1, |(_, j)| j as i64),
+            depth_p50: percentile(&depths, 50.0),
+            depth_p90: percentile(&depths, 90.0),
+            depth_p99: percentile(&depths, 99.0),
+            mean_latency: if delivered == 0 {
+                0.0
+            } else {
+                latency_sum as f64 / delivered as f64
+            },
+            amplification: if self.fanned_out == 0 {
+                0.0
+            } else {
+                self.attempts_total as f64 / self.fanned_out as f64
+            },
+            end_tick: self.tick,
+            time_to_drain,
+            drained,
+            event_hash: hash.value(),
+        };
+        debug_assert!(report.conserved(), "conservation violated: {report:?}");
+        SimRun { report, series: self.series, delivered_per_instance }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fedsim::OverlaySpec;
+
+    /// Tiny hand-built topology: 3 instances, user u on instance u, user 0
+    /// followed by users 1 and 2.
+    fn tiny() -> (FanoutArena, TootArena) {
+        let fanout = FanoutArena::from_follows(3, vec![0, 1, 2], &[(1, 0), (2, 0)]);
+        // user 0 toots at ticks 0 and 1
+        let toots = TootArena::from_events(4, [(0, 0), (1, 0)]);
+        (fanout, toots)
+    }
+
+    fn arena_all_up(n: usize, total: u32) -> OutageArena {
+        OutageArena::from_unsorted(&vec![(Epoch(0), Epoch(total)); n], [])
+    }
+
+    #[test]
+    fn clean_run_delivers_everything_promptly() {
+        let cfg = FedSimConfig::new(1);
+        let (fanout, toots) = tiny();
+        let total = toots.horizon() + cfg.drain_epochs;
+        let sim = FedSim::new(cfg, &fanout, &toots, &[10, 10, 10], arena_all_up(3, total));
+        let SimRun { report, series, delivered_per_instance } = sim.run();
+        assert_eq!(report.fanned_out, 4); // 2 toots × 2 follower instances
+        assert_eq!(report.delivered_prompt, 4);
+        assert_eq!(report.dropped, 0);
+        assert_eq!(report.undeliverable, 0);
+        assert!(report.conserved());
+        assert!(report.drained);
+        assert_eq!(report.amplification, 1.0);
+        assert_eq!(series[0].fanned, 2);
+        assert_eq!(delivered_per_instance, vec![0, 2, 2]);
+    }
+
+    #[test]
+    fn outage_triggers_retries_then_recovery() {
+        let mut cfg = FedSimConfig::new(2);
+        cfg.jitter = 0;
+        cfg.overlay = OverlaySpec::Baseline; // overlay arena built by hand below
+        let fanout = FanoutArena::from_follows(2, vec![0, 1], &[(1, 0)]);
+        let toots = TootArena::from_events(8, [(0, 0)]);
+        let total = toots.horizon() + cfg.drain_epochs;
+        // instance 1 down for ticks [0, 3)
+        let arena = OutageArena::from_unsorted(
+            &[(Epoch(0), Epoch(total)); 2],
+            [(1u32, Epoch(0), Epoch(3), fediscope_model::OutageCause::AsFailure)],
+        );
+        let sim = FedSim::new(cfg, &fanout, &toots, &[5, 5], arena);
+        let report = sim.run().report;
+        assert_eq!(report.fanned_out, 1);
+        assert_eq!(report.delivered_prompt, 0);
+        assert_eq!(report.delivered_delayed, 1, "recovered via redelivery");
+        assert!(report.redelivery_attempts >= 1);
+        assert!(report.rejected_down >= 1);
+        assert!(report.conserved());
+        assert!(report.drained);
+    }
+
+    #[test]
+    fn permanent_outage_suspends_and_accounts_parked() {
+        let mut cfg = FedSimConfig::new(3);
+        cfg.suspend_after = 2;
+        cfg.max_attempts = 100; // force the suspension path, not drops
+        cfg.drain_epochs = 32;
+        let fanout = FanoutArena::from_follows(2, vec![0, 1], &[(1, 0)]);
+        let toots = TootArena::from_events(8, [(0, 0), (1, 0), (2, 0), (3, 0)]);
+        let total = toots.horizon() + cfg.drain_epochs;
+        let arena = OutageArena::from_unsorted(
+            &[(Epoch(0), Epoch(total)); 2],
+            [(1u32, Epoch(0), Epoch(total), fediscope_model::OutageCause::Organic)],
+        );
+        let sim = FedSim::new(cfg, &fanout, &toots, &[5, 5], arena);
+        let report = sim.run().report;
+        assert_eq!(report.suspensions, 1);
+        assert_eq!(report.recovered_suspensions, 0);
+        assert!(report.suspended_undeliverable >= 1, "parked mail stays accounted");
+        assert_eq!(report.delivered_prompt + report.delivered_delayed, 0);
+        assert!(report.conserved());
+        assert!(!report.drained);
+        assert!(report.probes > 0, "probes keep checking");
+    }
+
+    #[test]
+    fn backpressure_delays_but_conserves() {
+        let mut cfg = FedSimConfig::new(4);
+        cfg.min_service = 1;
+        cfg.backlog_ticks = 1; // capacity 1: the second same-tick message bounces
+        cfg.jitter = 0;
+        let fanout = FanoutArena::from_follows(3, vec![0, 1, 2], &[(2, 0), (2, 1)]);
+        // both user 0 and user 1 toot at tick 0 → two msgs to instance 2
+        let toots = TootArena::from_events(4, [(0, 0), (0, 1)]);
+        let total = toots.horizon() + cfg.drain_epochs;
+        let sim = FedSim::new(cfg, &fanout, &toots, &[1, 1, 1], arena_all_up(3, total));
+        let report = sim.run().report;
+        assert_eq!(report.fanned_out, 2);
+        assert!(report.rejected_full >= 1, "bounded inbox pushed back");
+        assert_eq!(report.delivered(), 2, "retry drains the spillover");
+        assert!(report.conserved());
+        assert!(report.amplification > 1.0);
+    }
+
+    #[test]
+    fn shard_counts_are_bit_identical() {
+        let (fanout, toots) = tiny();
+        let base = {
+            let cfg = FedSimConfig::new(7);
+            let total = toots.horizon() + cfg.drain_epochs;
+            FedSim::new(cfg, &fanout, &toots, &[10, 10, 10], arena_all_up(3, total)).run()
+        };
+        for shards in [2u32, 3, 8] {
+            let mut cfg = FedSimConfig::new(7);
+            cfg.shards = shards;
+            let total = toots.horizon() + cfg.drain_epochs;
+            let run =
+                FedSim::new(cfg, &fanout, &toots, &[10, 10, 10], arena_all_up(3, total)).run();
+            assert_eq!(run, base, "run differs at {shards} shards");
+        }
+    }
+
+    #[test]
+    fn csr_group_is_stable() {
+        let items = [(2u32, 'a'), (0, 'b'), (2, 'c'), (1, 'd')];
+        let (off, grouped) = csr_group(3, &items, |&(k, _)| k);
+        assert_eq!(off, vec![0, 1, 2, 4]);
+        assert_eq!(grouped, vec![(0, 'b'), (1, 'd'), (2, 'a'), (2, 'c')]);
+        let (off_e, grouped_e) = csr_group::<(u32, char), _>(3, &[], |&(k, _)| k);
+        assert_eq!(off_e, vec![0, 0, 0, 0]);
+        assert!(grouped_e.is_empty());
+    }
+}

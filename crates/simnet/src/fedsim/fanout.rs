@@ -1,0 +1,137 @@
+//! Push fan-out topology: author → distinct remote follower instances.
+//!
+//! ActivityPub delivery is per *instance pair*, not per follower: a toot
+//! travels once from the author's home instance to each instance hosting
+//! at least one follower (Mastodon's sidekiq `push` queue dedups shared
+//! inboxes). [`FanoutArena`] precompiles that dedup into a user-indexed
+//! CSR so the simulator's hot loop is a flat slice walk.
+
+/// User-indexed CSR: `dsts(u)` is the ascending, deduplicated list of
+/// remote instances that host at least one follower of `u` (the home
+/// instance is excluded — local delivery is not federation traffic).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FanoutArena {
+    n_instances: usize,
+    /// User `u`'s home instance, `home[u]`.
+    home: Vec<u32>,
+    /// `n_users + 1` offsets into `dsts`.
+    offsets: Vec<u32>,
+    /// Destination instance ids, ascending within each user.
+    dsts: Vec<u32>,
+}
+
+impl FanoutArena {
+    /// Build from the follower edge list (`(a, b)` = user `a` follows user
+    /// `b`, so a toot by `b` is pushed toward `a`'s instance).
+    ///
+    /// Two stable counting sorts (edges by followee, then per-followee
+    /// dedup of sorted instance lists) — no hash maps, so the build is
+    /// deterministic and `O(users + edges)`.
+    pub fn from_follows(n_instances: usize, home: Vec<u32>, follows: &[(u32, u32)]) -> Self {
+        let n_users = home.len();
+        for &h in &home {
+            assert!((h as usize) < n_instances, "home instance {h} out of range");
+        }
+        // Counting sort edges by followee: counts → offsets → scatter the
+        // follower's *instance* into the followee's slot range.
+        let mut counts = vec![0u32; n_users];
+        for &(follower, followee) in follows {
+            assert!((follower as usize) < n_users && (followee as usize) < n_users);
+            counts[followee as usize] += 1;
+        }
+        let mut raw_off = vec![0u32; n_users + 1];
+        let mut acc = 0u32;
+        for u in 0..n_users {
+            raw_off[u] = acc;
+            acc += counts[u];
+        }
+        raw_off[n_users] = acc;
+        let mut raw = vec![0u32; acc as usize];
+        let mut cursor = raw_off.clone();
+        for &(follower, followee) in follows {
+            let at = &mut cursor[followee as usize];
+            raw[*at as usize] = home[follower as usize];
+            *at += 1;
+        }
+        // Per-user: sort, dedup, drop the home instance.
+        let mut offsets = vec![0u32; n_users + 1];
+        let mut dsts = Vec::with_capacity(raw.len());
+        for u in 0..n_users {
+            offsets[u] = dsts.len() as u32;
+            let slice = &mut raw[raw_off[u] as usize..raw_off[u + 1] as usize];
+            slice.sort_unstable();
+            let mut prev = u32::MAX;
+            for &inst in slice.iter() {
+                if inst != prev && inst != home[u] {
+                    dsts.push(inst);
+                }
+                prev = inst;
+            }
+        }
+        offsets[n_users] = dsts.len() as u32;
+        dsts.shrink_to_fit();
+        FanoutArena { n_instances, home, offsets, dsts }
+    }
+
+    /// Number of instances in the topology.
+    pub fn n_instances(&self) -> usize {
+        self.n_instances
+    }
+
+    /// Number of users.
+    pub fn n_users(&self) -> usize {
+        self.home.len()
+    }
+
+    /// User `u`'s home instance.
+    pub fn home(&self, u: u32) -> u32 {
+        self.home[u as usize]
+    }
+
+    /// Distinct remote follower instances of user `u`, ascending.
+    pub fn dsts(&self, u: u32) -> &[u32] {
+        &self.dsts[self.offsets[u as usize] as usize..self.offsets[u as usize + 1] as usize]
+    }
+
+    /// Total (user → instance) delivery pairs.
+    pub fn n_pairs(&self) -> usize {
+        self.dsts.len()
+    }
+
+    /// Build straight from a generated world's follower graph.
+    pub fn from_world(world: &fediscope_model::World) -> Self {
+        let home: Vec<u32> = world.users.iter().map(|u| u.instance.0).collect();
+        let follows: Vec<(u32, u32)> =
+            world.follows.iter().map(|&(a, b)| (a.0, b.0)).collect();
+        Self::from_follows(world.instances.len(), home, &follows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedups_and_drops_home() {
+        // users 0,1 on instance 0; user 2 on instance 1; user 3 on 2.
+        let home = vec![0, 0, 1, 2];
+        // followers of user 0: 1 (inst 0 = home, dropped), 2 and 3; plus a
+        // duplicate instance via both 2 and another user on inst 1.
+        let follows = vec![(1, 0), (2, 0), (3, 0), (0, 2), (2, 3), (3, 2)];
+        let f = FanoutArena::from_follows(3, home, &follows);
+        assert_eq!(f.dsts(0), &[1, 2]); // dedup + home dropped
+        assert_eq!(f.dsts(1), &[] as &[u32]);
+        assert_eq!(f.dsts(2), &[0, 2]);
+        assert_eq!(f.dsts(3), &[1]);
+        assert_eq!(f.n_pairs(), 5);
+        assert_eq!(f.home(2), 1);
+    }
+
+    #[test]
+    fn edge_order_does_not_matter() {
+        let home = vec![0, 1, 2];
+        let a = FanoutArena::from_follows(3, home.clone(), &[(1, 0), (2, 0)]);
+        let b = FanoutArena::from_follows(3, home, &[(2, 0), (1, 0)]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,221 @@
+//! Delivery accounting: per-tick series and the end-of-run report.
+//!
+//! Conservation is the backbone: every fanned-out message ends in exactly
+//! one of delivered (prompt or delayed), dropped (retry budget exhausted),
+//! or undeliverable (still queued, scheduled, or parked behind a
+//! suspension when the simulation ends). [`DeliveryReport::conserved`]
+//! checks the identity; the bench gate and the proptests both lean on it.
+
+use serde::{Deserialize, Serialize};
+
+use super::OverlaySpec;
+
+/// One tick of aggregate activity (the degradation time series).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TickStat {
+    /// New messages fanned out this tick.
+    pub fanned: u32,
+    /// Delivery attempts sent (excluding probes).
+    pub attempts: u32,
+    /// Probes sent.
+    pub probes: u32,
+    /// Attempts accepted into an inbox.
+    pub accepted: u32,
+    /// Attempts bounced off a full inbox.
+    pub rejected_full: u32,
+    /// Attempts refused because the destination was down.
+    pub rejected_down: u32,
+    /// Messages serviced out of inboxes.
+    pub delivered: u32,
+    /// Messages abandoned (attempt budget exhausted).
+    pub dropped: u32,
+    /// Messages in flight after this tick (inboxes + retry + parked).
+    pub backlog: u64,
+}
+
+/// End-of-run summary; serializable into `BENCH_fedsim.json` records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryReport {
+    /// The outage overlay the run was driven under.
+    pub overlay: OverlaySpec,
+    /// Messages created by fan-out.
+    pub fanned_out: u64,
+    /// Delivered on the creation tick, first attempt.
+    pub delivered_prompt: u64,
+    /// Delivered late (queued and/or redelivered).
+    pub delivered_delayed: u64,
+    /// Abandoned after the full retry budget.
+    pub dropped: u64,
+    /// Still in flight when the simulation ended (inbox + retry + parked).
+    pub undeliverable: u64,
+    /// Of `undeliverable`, messages parked behind suspended destinations.
+    pub suspended_undeliverable: u64,
+    /// Delivery attempts sent (excluding probes).
+    pub attempts: u64,
+    /// Redelivery (non-first) attempts among them.
+    pub redelivery_attempts: u64,
+    /// Probes sent.
+    pub probes: u64,
+    /// Attempts rejected by backpressure.
+    pub rejected_full: u64,
+    /// Attempts rejected because the destination was down.
+    pub rejected_down: u64,
+    /// Suspensions entered.
+    pub suspensions: u64,
+    /// Suspensions lifted by a successful probe.
+    pub recovered_suspensions: u64,
+    /// Deepest inbox observed anywhere.
+    pub peak_inbox_depth: u32,
+    /// Instance that hit that depth (lowest id on ties).
+    pub peak_inbox_instance: u32,
+    /// Instances that ever rejected with backpressure.
+    pub saturated_instances: u32,
+    /// First tick any inbox saturated (-1: never).
+    pub first_saturation_tick: i64,
+    /// Instance that saturated first (-1: never; lowest id on ties).
+    pub first_saturation_instance: i64,
+    /// Peak-inbox-depth distribution across instances: p50/p90/p99/max.
+    pub depth_p50: u32,
+    /// 90th percentile of per-instance peak depth.
+    pub depth_p90: u32,
+    /// 99th percentile of per-instance peak depth.
+    pub depth_p99: u32,
+    /// Mean delivery latency in ticks over all delivered messages.
+    pub mean_latency: f64,
+    /// attempts / fanned_out: redelivery amplification factor.
+    pub amplification: f64,
+    /// Tick the simulation stopped at.
+    pub end_tick: u32,
+    /// Ticks past the toot horizon until all queues emptied (-1: the
+    /// drain budget expired first).
+    pub time_to_drain: i64,
+    /// True when every queue emptied before the drain budget expired.
+    pub drained: bool,
+    /// Transcript witness: FNV fold over every event in canonical order.
+    pub event_hash: u64,
+}
+
+impl DeliveryReport {
+    /// Total delivered.
+    pub fn delivered(&self) -> u64 {
+        self.delivered_prompt + self.delivered_delayed
+    }
+
+    /// The conservation identity: every fanned-out message is delivered,
+    /// dropped, or still accounted for as undeliverable.
+    pub fn conserved(&self) -> bool {
+        self.fanned_out == self.delivered() + self.dropped + self.undeliverable
+    }
+}
+
+/// Everything a finished simulation yields: the summary report, the
+/// per-tick degradation series, and per-instance delivered-load counts
+/// (the §3 concentration data).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimRun {
+    /// End-of-run summary.
+    pub report: DeliveryReport,
+    /// One entry per simulated tick.
+    pub series: Vec<TickStat>,
+    /// Messages delivered *to* each instance (prompt + delayed).
+    pub delivered_per_instance: Vec<u64>,
+}
+
+/// p-th percentile (nearest-rank) of a **sorted ascending** slice.
+pub(crate) fn percentile(sorted: &[u32], p: f64) -> u32 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10];
+        assert_eq!(percentile(&v, 50.0), 5);
+        assert_eq!(percentile(&v, 90.0), 9);
+        assert_eq!(percentile(&v, 99.0), 10);
+        assert_eq!(percentile(&[], 50.0), 0);
+        assert_eq!(percentile(&[7], 99.0), 7);
+    }
+
+    #[test]
+    fn conservation_identity() {
+        let mut r = DeliveryReport {
+            overlay: OverlaySpec::Baseline,
+            fanned_out: 10,
+            delivered_prompt: 5,
+            delivered_delayed: 2,
+            dropped: 1,
+            undeliverable: 2,
+            suspended_undeliverable: 1,
+            attempts: 12,
+            redelivery_attempts: 2,
+            probes: 0,
+            rejected_full: 3,
+            rejected_down: 1,
+            suspensions: 1,
+            recovered_suspensions: 0,
+            peak_inbox_depth: 4,
+            peak_inbox_instance: 0,
+            saturated_instances: 1,
+            first_saturation_tick: 2,
+            first_saturation_instance: 0,
+            depth_p50: 1,
+            depth_p90: 3,
+            depth_p99: 4,
+            mean_latency: 0.5,
+            amplification: 1.2,
+            end_tick: 20,
+            time_to_drain: 4,
+            drained: true,
+            event_hash: 1,
+        };
+        assert!(r.conserved());
+        assert_eq!(r.delivered(), 7);
+        r.dropped = 0;
+        assert!(!r.conserved());
+    }
+
+    #[test]
+    fn report_round_trips_through_serde() {
+        let r = DeliveryReport {
+            overlay: OverlaySpec::TopAsOutage(5, 72, 144),
+            fanned_out: 1,
+            delivered_prompt: 1,
+            delivered_delayed: 0,
+            dropped: 0,
+            undeliverable: 0,
+            suspended_undeliverable: 0,
+            attempts: 1,
+            redelivery_attempts: 0,
+            probes: 0,
+            rejected_full: 0,
+            rejected_down: 0,
+            suspensions: 0,
+            recovered_suspensions: 0,
+            peak_inbox_depth: 1,
+            peak_inbox_instance: 3,
+            saturated_instances: 0,
+            first_saturation_tick: -1,
+            first_saturation_instance: -1,
+            depth_p50: 0,
+            depth_p90: 1,
+            depth_p99: 1,
+            mean_latency: 0.0,
+            amplification: 1.0,
+            end_tick: 288,
+            time_to_drain: 0,
+            drained: true,
+            event_hash: 99,
+        };
+        let v = serde::Serialize::to_json_value(&r);
+        let back: DeliveryReport = serde::Deserialize::from_json_value(&v).unwrap();
+        assert_eq!(back, r);
+    }
+}

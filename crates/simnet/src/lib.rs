@@ -16,6 +16,8 @@
 //! - [`api`]: the HTTP API surface (§3's endpoints),
 //! - [`timelines`]: deterministic pageable toot enumeration,
 //! - [`fault`]: smoltcp-style fault injection (errors, delays, rate limits),
+//! - [`fedsim`]: the deterministic federation delivery simulator (bounded
+//!   inboxes, backpressure, redelivery, suspension, outage overlays),
 //! - [`net`]: the loopback listener.
 
 #![forbid(unsafe_code)]
@@ -25,6 +27,7 @@
 pub mod api;
 pub mod clock;
 pub mod fault;
+pub mod fedsim;
 #[cfg(feature = "net")]
 pub mod net;
 pub mod state;
@@ -32,6 +35,7 @@ pub mod timelines;
 
 pub use clock::SimClock;
 pub use fault::{FaultDecision, FaultInjector, FaultPlan};
+pub use fedsim::{DeliveryReport, FanoutArena, FedSim, FedSimConfig, OverlaySpec, SimRun};
 #[cfg(feature = "net")]
 pub use net::{launch, SimNetHandle};
 pub use state::SimState;

@@ -18,7 +18,9 @@
 //! 4. [`availability`]: outage schedules (organic + certificate expiry +
 //!    AS-wide failures) and churn,
 //! 5. [`growth`]: the Fig.-1 daily series,
-//! 6. [`twitter`]: the comparison baselines.
+//! 6. [`twitter`]: the comparison baselines,
+//! 7. [`toots`]: per-user toot-event streams over a simulation horizon
+//!    (feeds `simnet::fedsim`).
 //!
 //! Every constant is calibrated against a number quoted in the paper; see
 //! `DESIGN.md` §4 for the target list and the per-module doc comments for
@@ -41,6 +43,7 @@ pub mod instances;
 pub mod observatory;
 pub mod pools;
 pub mod social;
+pub mod toots;
 pub mod twitter;
 pub mod users;
 

@@ -8,13 +8,17 @@
 //! - newtype structs (`struct Id(pub u32)`) — serialised as the inner value,
 //! - tuple structs — serialised as arrays,
 //! - enums with unit variants — serialised as the variant-name string,
+//! - enums with newtype variants (`Up(Info)`) — externally tagged,
+//! - enums with tuple variants (`Window(u32, u32)`) — externally tagged as
+//!   `{"Window": [a, b]}`,
 //! - enums with struct variants under `#[serde(tag = "...")]` (internally
 //!   tagged),
 //! - field attributes `#[serde(rename = "...")]` and
 //!   `#[serde(skip_serializing_if = "path")]`.
 //!
-//! Anything else (generics, tuple variants, untagged data enums) panics at
-//! expansion time with a clear message rather than miscompiling.
+//! Anything else (generics, untagged data enums, data variants inside
+//! internally tagged enums) panics at expansion time with a clear message
+//! rather than miscompiling.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -42,6 +46,9 @@ enum VariantShape {
     Unit,
     /// Single unnamed field, e.g. `Up(InstanceApiInfo)`.
     Newtype,
+    /// Two or more unnamed fields, e.g. `Window(u32, u32)` — serialised as
+    /// an array under the variant key.
+    Tuple(usize),
     Named(Vec<Field>),
 }
 
@@ -285,14 +292,15 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
             }
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 let arity = count_tuple_fields(g.stream());
-                if arity != 1 {
-                    panic!(
-                        "serde derive stub: {arity}-field tuple enum variants \
-                         are not supported ({vname})"
-                    );
-                }
                 toks.next();
-                VariantShape::Newtype
+                match arity {
+                    0 => panic!(
+                        "serde derive stub: zero-field tuple variants are not \
+                         supported ({vname}) — use a unit variant"
+                    ),
+                    1 => VariantShape::Newtype,
+                    n => VariantShape::Tuple(n),
+                }
             }
             _ => VariantShape::Unit,
         };
@@ -370,10 +378,28 @@ fn gen_serialize(item: &Item) -> String {
                             key = v.key()
                         ));
                     }
-                    (VariantShape::Newtype, Some(_)) => {
+                    (VariantShape::Tuple(arity), None) => {
+                        let binders: Vec<String> =
+                            (0..*arity).map(|i| format!("__f{i}")).collect();
+                        let items: Vec<String> = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_json_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{v}({binders}) => {{ let mut __m = ::serde::Map::new(); \
+                             __m.insert(::std::string::String::from(\"{key}\"), \
+                             ::serde::Value::Array(vec![{items}])); \
+                             ::serde::Value::Object(__m) }}\n",
+                            v = v.name,
+                            key = v.key(),
+                            binders = binders.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    (VariantShape::Newtype | VariantShape::Tuple(_), Some(_)) => {
                         panic!(
-                            "serde derive stub: newtype variants inside tagged enums \
-                             are not supported ({})",
+                            "serde derive stub: newtype/tuple variants inside tagged \
+                             enums are not supported ({})",
                             v.name
                         );
                     }
@@ -489,7 +515,9 @@ fn gen_deserialize(item: &Item) -> String {
                                 v = v.name
                             ));
                         }
-                        VariantShape::Newtype => unreachable!("rejected during serialize"),
+                        VariantShape::Newtype | VariantShape::Tuple(_) => {
+                            unreachable!("rejected during serialize")
+                        }
                         VariantShape::Named(fields) => {
                             let mut ctor = format!("Ok({name}::{v} {{\n", v = v.name);
                             for f in fields {
@@ -534,6 +562,25 @@ fn gen_deserialize(item: &Item) -> String {
                                  ::serde::Deserialize::from_json_value(__inner)?)),\n",
                                 key = v.key(),
                                 v = v.name
+                            ));
+                        }
+                        VariantShape::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_json_value(&__arr[{i}])?")
+                                })
+                                .collect();
+                            obj_arms.push_str(&format!(
+                                "\"{key}\" => {{ let __arr = __inner.as_array()\
+                                 .ok_or_else(|| ::serde::Error::custom(\
+                                 \"expected array for {name}::{v}\"))?;\n\
+                                 if __arr.len() != {arity} {{ return Err(\
+                                 ::serde::Error::custom(\"wrong tuple arity for \
+                                 {name}::{v}\")); }}\n\
+                                 Ok({name}::{v}({items})) }},\n",
+                                key = v.key(),
+                                v = v.name,
+                                items = items.join(", ")
                             ));
                         }
                         VariantShape::Named(fields) => {
