@@ -1,0 +1,256 @@
+//! `bench_scenario` — pin the correlated-failure scenario engine and
+//! record the replication strategy frontier in `BENCH_scenario.json`
+//! (one JSON object per line, appended — a history, not a snapshot).
+//!
+//! ```text
+//! bench_scenario [--quick] [--seed N] [--out PATH]
+//!                [--tier paper2019|mid|modern] [--threads N]
+//! ```
+//!
+//! Two engines evaluate the same scenario × strategy product grid and
+//! must produce bit-identical frontiers:
+//!
+//! 1. **naive** — `fediscope_replication::scenario::naive_grid`: one full
+//!    pass over the user table per grid cell, with its own step-table
+//!    computation from the raw removal groups.
+//! 2. **sweep** — `evaluate_grid`: one sharded pass over the resident
+//!    arena; every author is placed once per strategy and scored against
+//!    every scenario, with integer histograms merged in shard order.
+//!
+//! The workload is the tier's default scenario set (AS/hoster shared
+//! fate, region wave, cert-lapse cascade, churn with rebirth) × the
+//! default strategy frontier (No-Rep, S-Rep, Random(2), k-of-n(2/4),
+//! pop-weighted(1..4), follower-local(3)); the recorded JSON line carries
+//! the full frontier (availability + storage cost per cell) alongside
+//! the timings and the `identical_output` verdict. `--threads N` pins the
+//! shard-worker budget — the sweep must stay bit-identical at any value.
+
+use fediscope_core::scenarios::{frontier_strategies, tier_specs};
+use fediscope_core::Observatory;
+use fediscope_graph::par;
+use fediscope_replication::scenario::{
+    compile, evaluate_grid, naive_grid, CompiledScenario, FrontierCell, Grid, ScenarioStrategy,
+    ScenarioWorld,
+};
+use fediscope_worldgen::{streams, Generator, ScaleTier, WorldConfig};
+use std::io::Write as _;
+use std::time::Instant;
+
+struct Args {
+    quick: bool,
+    seed: u64,
+    out: String,
+    tier: Option<ScaleTier>,
+    threads: Option<usize>,
+}
+
+fn parse_args() -> Args {
+    let mut a = Args {
+        quick: false,
+        seed: 42,
+        out: "BENCH_scenario.json".to_string(),
+        tier: None,
+        threads: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => a.quick = true,
+            "--seed" => {
+                a.seed = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--seed needs a number")
+            }
+            "--out" => a.out = it.next().expect("--out needs a path"),
+            "--tier" => {
+                let name = it.next().expect("--tier needs a name");
+                a.tier = Some(
+                    ScaleTier::parse(&name)
+                        .unwrap_or_else(|| panic!("unknown tier {name:?} (paper2019|mid|modern)")),
+                );
+            }
+            "--threads" => {
+                let t: usize = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a number");
+                assert!(t >= 1, "--threads must be at least 1");
+                a.threads = Some(t);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: bench_scenario [--quick] [--seed N] [--out PATH] \
+                     [--tier paper2019|mid|modern] [--threads N]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    a
+}
+
+/// Best-of-`trials` wall time of `f`, in seconds.
+fn time(trials: usize, f: &dyn Fn()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed().as_secs_f64());
+    }
+    best
+}
+
+/// The frontier as a JSON array literal (cell order: row-major).
+fn frontier_json(grid: &Grid<FrontierCell>) -> String {
+    let mut items = Vec::with_capacity(grid.cells.len());
+    for (r, scenario) in grid.rows.iter().enumerate() {
+        for (c, strategy) in grid.cols.iter().enumerate() {
+            let cell = grid.get(r, c);
+            items.push(format!(
+                "{{\"scenario\":\"{scenario}\",\"strategy\":\"{strategy}\",\
+                 \"availability\":{:.6},\"storage_cost\":{:.4}}}",
+                cell.availability, cell.storage_cost
+            ));
+        }
+    }
+    format!("[{}]", items.join(","))
+}
+
+/// Append one JSON line to the trajectory file (and echo it to stdout).
+fn record(out: &str, json: &str) {
+    let mut f = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(out)
+        .expect("open BENCH_scenario.json");
+    writeln!(f, "{json}").expect("append BENCH_scenario.json");
+    println!("{json}");
+}
+
+fn main() {
+    let args = parse_args();
+    par::set_thread_override(args.threads);
+    let threads = par::thread_budget();
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!("shard workers: {threads} (machine offers {cores})");
+    let mode = if args.quick { "quick" } else { "full" };
+    // The naive reference runs one full user-table pass per grid cell
+    // (30 of them), so fewer trials than the microsecond-scale benches.
+    let trials = if args.quick { 2 } else { 3 };
+
+    let spec_tier = args.tier.unwrap_or(ScaleTier::Paper2019);
+    let (obs, gen_s, tier_name) = match args.tier {
+        Some(tier) => {
+            eprintln!(
+                "generating {tier} tier world ({} instances, {} users) …",
+                tier.n_instances(),
+                tier.n_users()
+            );
+            let t0 = Instant::now();
+            let obs = Observatory::new(Generator::generate_world(WorldConfig::for_tier(
+                tier, args.seed,
+            )));
+            (obs, t0.elapsed().as_secs_f64(), Some(tier.name()))
+        }
+        None => {
+            let n_users = if args.quick { 20_000 } else { 100_000 };
+            eprintln!("generating {n_users}-user world via worldgen …");
+            let mut cfg = WorldConfig::paper_scaled(args.seed);
+            cfg.n_users = n_users;
+            cfg.twitter_users = 1_000;
+            let t0 = Instant::now();
+            let obs = Observatory::new(Generator::generate_world(cfg));
+            (obs, t0.elapsed().as_secs_f64(), None)
+        }
+    };
+    let view = obs.content_view();
+    eprintln!(
+        "world ready in {gen_s:.1}s: {} users, {} instances, {} holder entries",
+        view.n_users(),
+        view.n_instances,
+        view.holder_entries()
+    );
+
+    let rebirth = streams::rebirth_days(
+        &obs.world.schedules,
+        args.seed,
+        streams::DEFAULT_REBIRTH_FRAC,
+    );
+    let sw = ScenarioWorld::from_world(&obs.world).with_rebirth(rebirth);
+    let specs = tier_specs(spec_tier);
+    let strategies: Vec<ScenarioStrategy> = frontier_strategies();
+    let compiled: Vec<CompiledScenario> = specs.iter().map(|s| compile(s, &sw)).collect();
+    for c in &compiled {
+        eprintln!(
+            "scenario {}: {} steps, {} instances removed",
+            c.label,
+            c.plan.n_steps(),
+            c.plan.removed_instances().len()
+        );
+    }
+
+    let fast = evaluate_grid(view, &sw, &compiled, &strategies, args.seed);
+    let slow = naive_grid(view, &sw, &compiled, &strategies, args.seed);
+    let identical = fast == slow;
+    if identical {
+        eprintln!("identity check passed (sweep == naive reference, bit-for-bit)");
+    } else {
+        eprintln!("FAIL — sweep diverged from the naive reference");
+    }
+
+    let sweep_s = time(trials, &|| {
+        std::hint::black_box(evaluate_grid(view, &sw, &compiled, &strategies, args.seed));
+    });
+    let naive_s = time(trials, &|| {
+        std::hint::black_box(naive_grid(view, &sw, &compiled, &strategies, args.seed));
+    });
+    let speedup = naive_s / sweep_s;
+    eprintln!(
+        "grid {}x{}: sweep {sweep_s:.4}s, naive {naive_s:.4}s ({speedup:.1}x)",
+        compiled.len(),
+        strategies.len()
+    );
+
+    record(
+        &args.out,
+        &format!(
+            "{{\"bench\":\"scenario\",\"tier\":\"{tier}\",\"mode\":\"{mode}\",\
+             \"threads\":{threads},\"cores\":{cores},\
+             \"users\":{users},\"instances\":{inst},\"holder_entries\":{he},\
+             \"seed\":{seed},\"gen_seconds\":{gen_s:.3},\
+             \"scenarios\":{n_sc},\"strategies\":{n_st},\
+             \"naive_seconds\":{naive_s:.6},\"sweep_seconds\":{sweep_s:.6},\
+             \"speedup\":{speedup:.2},\"identical_output\":{identical},\
+             \"frontier\":{frontier}}}",
+            tier = tier_name.unwrap_or("paper-scaled"),
+            users = view.n_users(),
+            inst = view.n_instances,
+            he = view.holder_entries(),
+            seed = args.seed,
+            n_sc = compiled.len(),
+            n_st = strategies.len(),
+            frontier = frontier_json(&fast),
+        ),
+    );
+
+    let mut fail = false;
+    if !identical {
+        eprintln!("FAIL: engines diverged");
+        fail = true;
+    }
+    // The fused pass places each author once per strategy instead of once
+    // per cell; with 5 scenarios sharing each placement the collapse is
+    // structural, so a conservative floor holds even at smoke scale.
+    if speedup < 2.0 {
+        eprintln!("FAIL: speedup {speedup:.1}x below the 2x acceptance floor");
+        fail = true;
+    }
+    if fail {
+        std::process::exit(1);
+    }
+}

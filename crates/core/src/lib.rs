@@ -28,6 +28,7 @@ pub mod graphs;
 pub mod observatory;
 pub mod population;
 pub mod report;
+pub mod scenarios;
 pub mod verdicts;
 
 pub use observatory::{Metric, Observatory};

@@ -8,6 +8,7 @@ use crate::graphs::{Fig11Degrees, Fig12UserRemoval, Fig13FederationRemoval, Tabl
 use crate::population::{
     Fig01Growth, Fig02OpenClosed, Fig03Categories, Fig04Policies, Fig05Hosting, Fig06CountryLinks,
 };
+use crate::scenarios::Section5Scenarios;
 use crate::verdicts::Verdict;
 use fediscope_monitor::asn::AsFailureRow;
 use std::fmt::Write as _;
@@ -511,6 +512,40 @@ pub fn render_fig16(f: &Fig16RandomReplication) -> String {
     )
 }
 
+/// Render the replication strategy frontier: per scenario (row) and
+/// strategy (column), final availability at the cell's storage cost
+/// (`avail @ cost× copies per toot`).
+pub fn render_section5_scenarios(s: &Section5Scenarios) -> String {
+    let mut headers = vec!["scenario"];
+    for c in &s.grid.cols {
+        headers.push(c.as_str());
+    }
+    let rows: Vec<Vec<String>> = s
+        .grid
+        .rows
+        .iter()
+        .enumerate()
+        .map(|(r, label)| {
+            let mut row = vec![label.clone()];
+            for c in 0..s.grid.cols.len() {
+                let cell = s.grid.get(r, c);
+                row.push(format!(
+                    "{} @ {:.2}x",
+                    pct(cell.availability),
+                    cell.storage_cost
+                ));
+            }
+            row
+        })
+        .collect();
+    format!(
+        "Section 5 (scenarios) — replication strategy frontier\n\
+         (availability after the scenario's final step @ stored copies per toot; seed {})\n{}",
+        s.seed,
+        table(&headers, &rows),
+    )
+}
+
 /// Render the verdict table.
 pub fn render_verdicts(verdicts: &[Verdict]) -> String {
     let rows: Vec<Vec<String>> = verdicts
@@ -577,6 +612,21 @@ mod tests {
         assert!(!render_fig14(&crate::content::fig14_remote_ratio(&obs)).is_empty());
         assert!(!render_fig15(&crate::content::fig15_replication(&obs, 10, 5)).is_empty());
         assert!(!render_fig16(&crate::content::fig16_random_replication(&obs, 10)).is_empty());
+        let s5 = crate::scenarios::section5_scenarios(
+            &obs,
+            &[
+                fediscope_replication::scenario::ScenarioSpec::AsSharedFate(3),
+                fediscope_replication::scenario::ScenarioSpec::CertCascade(4),
+            ],
+            &crate::scenarios::frontier_strategies(),
+            7,
+            None,
+        );
+        let text = render_section5_scenarios(&s5);
+        assert!(text.contains("replication strategy frontier"));
+        assert!(text.contains("as-fate(3)"));
+        assert!(text.contains("k-of-n(2/4)"));
+        assert!(text.contains("@"));
     }
 
     #[test]

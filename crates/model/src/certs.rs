@@ -95,6 +95,99 @@ impl Certificate {
         }
         out
     }
+
+    /// The same lapse calendar as [`Certificate::lapse_days`], indexed as a
+    /// day [`LapseBitset`] — the Fig. 9b representation the scenario engine
+    /// uses as its cascade trigger: "which instances lapse in day range
+    /// `[a, b)`" becomes a word-wise scan instead of a per-instance `Vec`
+    /// walk.
+    pub fn lapse_bitset(&self, lapse_fix_days: u32, horizon: u32) -> LapseBitset {
+        let mut bits = LapseBitset::empty(horizon);
+        for d in self.lapse_days(lapse_fix_days, horizon) {
+            bits.set(d);
+        }
+        bits
+    }
+}
+
+/// A bitset over window days — one bit per [`Day`] below the horizon.
+///
+/// Used to index certificate-lapse calendars (Fig. 9b): bit `d` set means
+/// "the certificate chain lapses on day `d`". Queries are word-wise, so
+/// range scans over a 472-day window touch at most 8 words.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LapseBitset {
+    /// Number of days covered (bits beyond `horizon` are always zero).
+    pub horizon: u32,
+    /// Little-endian 64-day words, length `ceil(horizon / 64)`.
+    pub words: Vec<u64>,
+}
+
+impl LapseBitset {
+    /// An all-zero bitset covering `horizon` days.
+    pub fn empty(horizon: u32) -> Self {
+        Self {
+            horizon,
+            words: vec![0u64; horizon.div_ceil(64) as usize],
+        }
+    }
+
+    /// Set the bit for `day` (ignored beyond the horizon).
+    pub fn set(&mut self, day: Day) {
+        if day.0 < self.horizon {
+            self.words[(day.0 / 64) as usize] |= 1u64 << (day.0 % 64);
+        }
+    }
+
+    /// Is the bit for `day` set?
+    pub fn contains(&self, day: Day) -> bool {
+        day.0 < self.horizon && self.words[(day.0 / 64) as usize] >> (day.0 % 64) & 1 == 1
+    }
+
+    /// Number of set days.
+    pub fn count(&self) -> u32 {
+        self.words.iter().map(|w| w.count_ones()).sum()
+    }
+
+    /// True when no day is set.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// First set day in `[from, horizon)`, scanning whole words.
+    pub fn first_set_at_or_after(&self, from: Day) -> Option<Day> {
+        if from.0 >= self.horizon {
+            return None;
+        }
+        let mut wi = (from.0 / 64) as usize;
+        let mut word = self.words[wi] & (u64::MAX << (from.0 % 64));
+        loop {
+            if word != 0 {
+                let day = wi as u32 * 64 + word.trailing_zeros();
+                return (day < self.horizon).then_some(Day(day));
+            }
+            wi += 1;
+            if wi >= self.words.len() {
+                return None;
+            }
+            word = self.words[wi];
+        }
+    }
+
+    /// Iterate all set days in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Day> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut word = w;
+            std::iter::from_fn(move || {
+                if word == 0 {
+                    return None;
+                }
+                let bit = word.trailing_zeros();
+                word &= word - 1;
+                Some(Day(wi as u32 * 64 + bit))
+            })
+        })
+    }
 }
 
 #[cfg(test)]
@@ -149,6 +242,59 @@ mod tests {
         let lapses = c.lapse_days(5, 400);
         assert_eq!(lapses, vec![Day(365)]);
         assert!(c.lapse_days(5, 300).is_empty());
+    }
+
+    #[test]
+    fn lapse_bitset_matches_lapse_days() {
+        for (ca, auto_renew, issued) in [
+            (CertificateAuthority::LetsEncrypt, false, 0u32),
+            (CertificateAuthority::LetsEncrypt, true, 0),
+            (CertificateAuthority::Comodo, false, 30),
+            (CertificateAuthority::Other, false, 460),
+        ] {
+            let c = Certificate {
+                ca,
+                issued: Day(issued),
+                auto_renew,
+            };
+            let days = c.lapse_days(3, 472);
+            let bits = c.lapse_bitset(3, 472);
+            assert_eq!(bits.iter().collect::<Vec<_>>(), days);
+            assert_eq!(bits.count() as usize, days.len());
+            assert_eq!(bits.is_empty(), days.is_empty());
+            for d in 0..472 {
+                assert_eq!(bits.contains(Day(d)), days.contains(&Day(d)), "day {d}");
+            }
+        }
+    }
+
+    #[test]
+    fn lapse_bitset_first_set_scans_words() {
+        let c = Certificate {
+            ca: CertificateAuthority::LetsEncrypt,
+            issued: Day(0),
+            auto_renew: false,
+        };
+        // lapses at 90, 183, 276, 369, 462
+        let bits = c.lapse_bitset(3, 472);
+        assert_eq!(bits.first_set_at_or_after(Day(0)), Some(Day(90)));
+        assert_eq!(bits.first_set_at_or_after(Day(90)), Some(Day(90)));
+        assert_eq!(bits.first_set_at_or_after(Day(91)), Some(Day(183)));
+        assert_eq!(bits.first_set_at_or_after(Day(463)), None);
+        assert_eq!(bits.first_set_at_or_after(Day(9999)), None);
+        assert_eq!(LapseBitset::empty(472).first_set_at_or_after(Day(0)), None);
+    }
+
+    #[test]
+    fn lapse_bitset_horizon_edges() {
+        let mut b = LapseBitset::empty(65);
+        b.set(Day(0));
+        b.set(Day(64));
+        b.set(Day(65)); // beyond horizon: ignored
+        assert_eq!(b.count(), 2);
+        assert!(b.contains(Day(64)));
+        assert!(!b.contains(Day(65)));
+        assert_eq!(b.first_set_at_or_after(Day(1)), Some(Day(64)));
     }
 
     #[test]

@@ -189,6 +189,39 @@ impl ScaleTier {
         let h = self.fedsim_horizon_epochs();
         (h / 4, h / 2)
     }
+
+    // --- correlated-failure scenario knobs (replication::scenario) ---
+
+    /// Shared-fate depth: how many top-ranked ASes (and hosting providers)
+    /// the AS-/hoster-level shared-fate scenarios take down, one group per
+    /// removal step.
+    pub fn scenario_shared_fate_groups(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 10,
+            ScaleTier::Mid => 15,
+            ScaleTier::Modern => 20,
+        }
+    }
+
+    /// Cert-lapse cascade resolution: the window's lapse days are folded
+    /// into this many equal day buckets, each bucket one removal step.
+    pub fn scenario_cascade_buckets(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 8,
+            ScaleTier::Mid => 12,
+            ScaleTier::Modern => 16,
+        }
+    }
+
+    /// Churn-with-rebirth step count: churned instances retire in
+    /// retirement-day order, folded into this many removal steps.
+    pub fn scenario_churn_steps(self) -> usize {
+        match self {
+            ScaleTier::Paper2019 => 10,
+            ScaleTier::Mid => 12,
+            ScaleTier::Modern => 16,
+        }
+    }
 }
 
 impl std::fmt::Display for ScaleTier {
@@ -239,6 +272,12 @@ mod tests {
             assert!(tier.fig16_max_instances() <= tier.n_instances());
             assert_eq!(tier.table1_min_instances(), 8);
             assert!(tier.fig08_day_stride() >= 1);
+            assert!(tier.scenario_shared_fate_groups() > 0);
+            assert!(tier.scenario_shared_fate_groups() <= tier.n_providers());
+            assert!(tier.scenario_cascade_buckets() > 0);
+            assert!(tier.scenario_cascade_buckets() <= crate::time::WINDOW_DAYS as usize);
+            assert!(tier.scenario_churn_steps() > 0);
+            assert!(tier.scenario_churn_steps() <= tier.n_instances());
         }
     }
 

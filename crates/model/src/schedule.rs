@@ -24,6 +24,15 @@ pub enum OutageCause {
     CertExpiry,
     /// The hosting AS suffered a network-wide failure (Table 1).
     AsFailure,
+    /// Scenario-engine provenance: a cert-lapse cascade step (the bitset-
+    /// indexed Fig. 9b lapse model used as a correlated-failure trigger).
+    CertLapseCascade,
+    /// Scenario-engine provenance: a shared-fate event (AS-, hoster- or
+    /// region-level correlated removal).
+    SharedFate,
+    /// Scenario-engine provenance: churn — the instance left (possibly to be
+    /// reborn later in the scenario).
+    Churn,
 }
 
 /// A continuous unavailability interval `[start, end)` in epochs.
@@ -832,6 +841,35 @@ mod tests {
     }
 
     #[test]
+    fn cascade_causes_round_trip_through_from_unsorted() {
+        // The scenario engine tags intervals with cascade-provenance causes;
+        // they must survive the counting-sort ingest (including the merge
+        // tie-breaks) exactly like the original three causes.
+        let lifetimes = [(Epoch(0), Epoch(WINDOW_EPOCHS)); 3];
+        let stream = [
+            (0u32, Epoch(100), Epoch(200), OutageCause::CertLapseCascade),
+            (1, Epoch(50), Epoch(80), OutageCause::SharedFate),
+            (2, Epoch(10), Epoch(40), OutageCause::Churn),
+            // overlaps the cascade interval, starts later: earliest-start
+            // cause (CertLapseCascade) must win the merge.
+            (0, Epoch(150), Epoch(300), OutageCause::Organic),
+        ];
+        let arena = OutageArena::from_unsorted(&lifetimes, stream.iter().copied());
+        assert_eq!(arena.view(0).outage_count(), 1);
+        assert_eq!(arena.view(0).outage(0).cause, OutageCause::CertLapseCascade);
+        assert_eq!(arena.view(1).outage(0).cause, OutageCause::SharedFate);
+        assert_eq!(arena.view(2).outage(0).cause, OutageCause::Churn);
+        // and the schedule route agrees (the proptest covers the general
+        // case; this pins the new variants concretely).
+        let mut schedules: Vec<AvailabilitySchedule> =
+            (0..3).map(|_| AvailabilitySchedule::new(Day(0), None)).collect();
+        for &(inst, s, e, c) in &stream {
+            schedules[inst as usize].add_outage(s, e, c);
+        }
+        assert_eq!(arena, OutageArena::from_schedules(&schedules));
+    }
+
+    #[test]
     #[should_panic(expected = "unknown instance")]
     fn from_unsorted_rejects_unknown_instance() {
         let _ = OutageArena::from_unsorted(
@@ -927,11 +965,12 @@ mod prop_tests {
         fn unsorted_ingest_matches_sorted_build(
             n_inst in 1usize..7,
             stream in proptest::collection::vec(
-                (0u32..7, 0u32..3_000, 0u32..3_000, 0usize..3), 0..60),
+                (0u32..7, 0u32..3_000, 0u32..3_000, 0usize..6), 0..60),
             lives in proptest::collection::vec((0u32..9, 0u32..12), 7),
         ) {
             let causes = [OutageCause::Organic, OutageCause::CertExpiry,
-                          OutageCause::AsFailure];
+                          OutageCause::AsFailure, OutageCause::CertLapseCascade,
+                          OutageCause::SharedFate, OutageCause::Churn];
             let mut schedules = Vec::new();
             let mut lifetimes = Vec::new();
             for &(created, retired) in lives.iter().take(n_inst) {

@@ -90,7 +90,7 @@ pub struct RemovalPlan {
 }
 
 /// Sentinel step for instances that are never removed.
-const NEVER: u32 = u32::MAX;
+pub(crate) const NEVER: u32 = u32::MAX;
 
 /// Ascending list of instances with a finite death step.
 fn removed_of(steps: &[u32]) -> Vec<u32> {

@@ -26,6 +26,13 @@
 //! sharded pass over the [`ContentView`]'s flat CSR holder arena —
 //! bit-identical output, several times faster on multi-strategy workloads
 //! (see `README.md` and `BENCH_avail.json`).
+//!
+//! The correlated-failure extension lives in [`scenario`]: declarative
+//! failure processes (AS/hoster shared fate, cert-lapse cascades,
+//! geographic waves, churn with rebirth) compile into the same
+//! [`RemovalPlan`] machinery, richer strategies (k-of-n erasure,
+//! popularity-weighted, follower-locality) layer on top, and one sharded
+//! pass emits the full strategy × scenario "replication frontier" grid.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,8 +40,13 @@
 pub mod content;
 pub mod dht;
 pub mod eval;
+pub mod scenario;
 pub mod weighted;
 
 pub use content::ContentView;
 pub use dht::HashRing;
 pub use eval::{AvailabilityBatch, AvailabilityPoint, AvailabilitySweep, RemovalPlan, Strategy};
+pub use scenario::{
+    compile, evaluate_grid, naive_grid, CompiledScenario, FrontierCell, Grid, ScenarioSpec,
+    ScenarioStrategy, ScenarioWorld,
+};

@@ -45,6 +45,7 @@ pub use redelivery::{backoff_delay, RetryQueue};
 pub use suspension::{SourceState, Suspension};
 
 use fediscope_model::ScaleTier;
+pub use fediscope_replication::scenario::ScenarioSpec;
 use serde::{Deserialize, Serialize};
 
 /// Which outage overlay drives a run (serialized into bench records; the
@@ -59,6 +60,12 @@ pub enum OverlaySpec {
     /// `(n_instances, start_tick)`: the §5 removal order — the top-`n`
     /// toot-hosting instances die permanently at `start_tick`.
     TopInstanceRemoval(u32, u32),
+    /// `(spec, start_tick, step_ticks)`: a compiled correlated-failure
+    /// scenario from the batch sweep's vocabulary — step `k` of the
+    /// scenario's removal plan goes (permanently) dark at
+    /// `start_tick + k * step_ticks`, with intervals tagged by the
+    /// scenario's [`OutageCause`](fediscope_model::schedule::OutageCause).
+    Scenario(ScenarioSpec, u32, u32),
 }
 
 /// Simulator knobs. Everything that shapes behaviour is here and
@@ -142,6 +149,9 @@ mod tests {
             OverlaySpec::Baseline,
             OverlaySpec::TopAsOutage(5, 72, 144),
             OverlaySpec::TopInstanceRemoval(10, 100),
+            OverlaySpec::Scenario(ScenarioSpec::AsSharedFate(10), 72, 12),
+            OverlaySpec::Scenario(ScenarioSpec::CertCascade(8), 0, 36),
+            OverlaySpec::Scenario(ScenarioSpec::ChurnRebirth(16), 144, 6),
         ] {
             let v = serde::Serialize::to_json_value(&spec);
             let back: OverlaySpec = serde::Deserialize::from_json_value(&v).unwrap();

@@ -10,6 +10,7 @@
 use fediscope_model::schedule::{OutageArena, OutageCause};
 use fediscope_model::time::Epoch;
 use fediscope_model::Instance;
+use fediscope_replication::scenario::{self, ScenarioWorld};
 
 use super::OverlaySpec;
 
@@ -36,6 +37,26 @@ pub fn build(spec: &OverlaySpec, instances: &[Instance], total_ticks: u32) -> Ou
                 .into_iter()
                 .map(|i| (i, Epoch(start), Epoch(total_ticks), OutageCause::Organic))
                 .collect()
+        }
+        OverlaySpec::Scenario(ref spec, start, step_ticks) => {
+            assert!(start <= total_ticks, "scenario start out of range");
+            // Compiled against the instance table alone: shared-fate,
+            // region, and cert-cascade scenarios are fully determined by
+            // it; churn scenarios need availability schedules and compile
+            // to an empty plan here (use the batch sweep for those).
+            let sw = ScenarioWorld::from_instances(instances);
+            let compiled = scenario::compile(spec, &sw);
+            let mut intervals = Vec::new();
+            for (k, members) in compiled.groups.iter().enumerate() {
+                let at = start.saturating_add((k as u32).saturating_mul(step_ticks));
+                if at >= total_ticks {
+                    break;
+                }
+                for &i in members {
+                    intervals.push((i, Epoch(at), Epoch(total_ticks), compiled.cause));
+                }
+            }
+            intervals
         }
     };
     OutageArena::from_unsorted(&lifetimes, intervals)
@@ -109,6 +130,51 @@ mod tests {
             assert!(!v.is_up(Epoch(50)));
             assert!(!v.is_up(Epoch(99)));
         }
+    }
+
+    #[test]
+    fn scenario_overlay_steps_groups_onto_the_sim_clock() {
+        use fediscope_model::schedule::OutageCause;
+        use fediscope_replication::scenario::{compile, ScenarioSpec};
+        let w = Generator::generate_world(WorldConfig::tiny(24));
+        let spec = ScenarioSpec::AsSharedFate(3);
+        let arena = build(&OverlaySpec::Scenario(spec, 10, 5), &w.instances, 100);
+        let compiled = compile(&spec, &ScenarioWorld::from_instances(&w.instances));
+        let mut dark = 0;
+        for (k, members) in compiled.groups.iter().enumerate() {
+            let at = 10 + k as u32 * 5;
+            for &i in members {
+                let v = arena.view(i as usize);
+                assert!(v.is_up(Epoch(at - 1)), "up until its step");
+                assert!(!v.is_up(Epoch(at)), "dark from its step");
+                assert!(!v.is_up(Epoch(99)), "removal is permanent");
+                assert_eq!(v.outage(0).cause, OutageCause::SharedFate);
+                dark += 1;
+            }
+        }
+        assert!(dark > 0, "top ASes host instances");
+        // cert cascades carry their own provenance tag
+        let cascade = build(
+            &OverlaySpec::Scenario(ScenarioSpec::CertCascade(4), 0, 1),
+            &w.instances,
+            100,
+        );
+        for v in cascade.views() {
+            for k in 0..v.outage_count() {
+                assert_eq!(v.outage(k).cause, OutageCause::CertLapseCascade);
+            }
+        }
+    }
+
+    #[test]
+    fn scenario_steps_past_the_horizon_are_dropped() {
+        let w = Generator::generate_world(WorldConfig::tiny(25));
+        let spec = scenario::ScenarioSpec::AsSharedFate(8);
+        // step 0 lands at tick 90, step 1 would land at 190 > 100
+        let arena = build(&OverlaySpec::Scenario(spec, 90, 100), &w.instances, 100);
+        let compiled = scenario::compile(&spec, &ScenarioWorld::from_instances(&w.instances));
+        let expected: usize = compiled.groups.first().map_or(0, |g| g.len());
+        assert_eq!(arena.n_outages(), expected);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod instances;
 pub mod observatory;
 pub mod pools;
 pub mod social;
+pub mod streams;
 pub mod toots;
 pub mod twitter;
 pub mod users;

@@ -13,12 +13,14 @@
 //!   `{"Window": [a, b]}`,
 //! - enums with struct variants under `#[serde(tag = "...")]` (internally
 //!   tagged),
+//! - generic structs (`struct Grid<T> { .. }`) — every type parameter gets
+//!   a `Serialize`/`Deserialize` bound on the generated impl,
 //! - field attributes `#[serde(rename = "...")]` and
 //!   `#[serde(skip_serializing_if = "path")]`.
 //!
-//! Anything else (generics, untagged data enums, data variants inside
-//! internally tagged enums) panics at expansion time with a clear message
-//! rather than miscompiling.
+//! Anything else (generic enums, lifetimes, const generics, untagged data
+//! enums, data variants inside internally tagged enums) panics at expansion
+//! time with a clear message rather than miscompiling.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
@@ -67,8 +69,8 @@ impl Variant {
 
 #[derive(Debug)]
 enum Item {
-    NamedStruct { name: String, fields: Vec<Field> },
-    TupleStruct { name: String, arity: usize },
+    NamedStruct { name: String, generics: Vec<String>, fields: Vec<Field> },
+    TupleStruct { name: String, generics: Vec<String>, arity: usize },
     Enum { name: String, tag: Option<String>, variants: Vec<Variant> },
 }
 
@@ -120,36 +122,85 @@ fn parse_item(input: TokenStream) -> Item {
         Some(TokenTree::Ident(id)) => id.to_string(),
         other => panic!("serde derive: expected item name, got {other:?}"),
     };
-    if let Some(TokenTree::Punct(p)) = toks.peek() {
-        if p.as_char() == '<' {
-            panic!("serde derive stub: generic types are not supported ({name})");
-        }
-    }
+    let generics = parse_generics(&mut toks, &name);
 
     match kind.as_str() {
         "struct" => match toks.next() {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
                 name,
+                generics,
                 fields: parse_named_fields(g.stream()),
             },
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
                 Item::TupleStruct {
                     name,
+                    generics,
                     arity: count_tuple_fields(g.stream()),
                 }
             }
             other => panic!("serde derive: unsupported struct body for {name}: {other:?}"),
         },
-        "enum" => match toks.next() {
-            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
-                name,
-                tag: container_attrs.tag,
-                variants: parse_variants(g.stream()),
-            },
-            other => panic!("serde derive: unsupported enum body for {name}: {other:?}"),
-        },
+        "enum" => {
+            if !generics.is_empty() {
+                panic!("serde derive stub: generic enums are not supported ({name})");
+            }
+            match toks.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                    name,
+                    tag: container_attrs.tag,
+                    variants: parse_variants(g.stream()),
+                },
+                other => panic!("serde derive: unsupported enum body for {name}: {other:?}"),
+            }
+        }
         other => panic!("serde derive: unsupported item kind `{other}`"),
     }
+}
+
+/// Parse an optional `<...>` generic-parameter list after the item name,
+/// returning the type-parameter names. Trait bounds (`T: Clone + Default`,
+/// including bounds that themselves contain angle brackets) are accepted
+/// and dropped — the generated impl substitutes its own
+/// `Serialize`/`Deserialize` bounds. Lifetimes and const parameters stay
+/// unsupported.
+fn parse_generics(
+    toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    name: &str,
+) -> Vec<String> {
+    match toks.peek() {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+            toks.next();
+        }
+        _ => return Vec::new(),
+    }
+    let mut params = Vec::new();
+    let mut depth = 1i32;
+    let mut expecting_param = true;
+    for tok in toks.by_ref() {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                if depth == 0 {
+                    return params;
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 1 => expecting_param = true,
+            TokenTree::Punct(p) if p.as_char() == '\'' => {
+                panic!("serde derive stub: lifetime parameters are not supported ({name})");
+            }
+            TokenTree::Ident(id) if expecting_param => {
+                let id = id.to_string();
+                if id == "const" {
+                    panic!("serde derive stub: const generics are not supported ({name})");
+                }
+                params.push(id);
+                expecting_param = false;
+            }
+            _ => {} // bounds, defaults, …
+        }
+    }
+    panic!("serde derive: unterminated generic-parameter list for {name}");
 }
 
 /// Fold one `#[...]` attribute body into `attrs` when it is a serde attr.
@@ -323,7 +374,7 @@ fn parse_variants(body: TokenStream) -> Vec<Variant> {
 
 fn gen_serialize(item: &Item) -> String {
     match item {
-        Item::NamedStruct { name, fields } => {
+        Item::NamedStruct { name, generics, fields } => {
             let mut body = String::from("let mut __m = ::serde::Map::new();\n");
             for f in fields {
                 let insert = format!(
@@ -343,9 +394,9 @@ fn gen_serialize(item: &Item) -> String {
                 }
             }
             body.push_str("::serde::Value::Object(__m)");
-            impl_serialize(name, &body)
+            impl_serialize(name, generics, &body)
         }
-        Item::TupleStruct { name, arity } => {
+        Item::TupleStruct { name, generics, arity } => {
             let body = if *arity == 1 {
                 "::serde::Serialize::to_json_value(&self.0)".to_string()
             } else {
@@ -354,7 +405,7 @@ fn gen_serialize(item: &Item) -> String {
                     .collect();
                 format!("::serde::Value::Array(vec![{}])", items.join(", "))
             };
-            impl_serialize(name, &body)
+            impl_serialize(name, generics, &body)
         }
         Item::Enum { name, tag, variants } => {
             let mut arms = String::new();
@@ -452,15 +503,30 @@ fn gen_serialize(item: &Item) -> String {
                     }
                 }
             }
-            impl_serialize(name, &format!("match self {{\n{arms}\n}}"))
+            impl_serialize(name, &[], &format!("match self {{\n{arms}\n}}"))
         }
     }
 }
 
-fn impl_serialize(name: &str, body: &str) -> String {
+/// `impl<T: Bound, …> Trait for Name<T, …>` header pieces: the
+/// parameter list with `bound` applied to every type parameter, and the
+/// parameterised type name. Both empty strings for non-generic items.
+fn generic_header(generics: &[String], bound: &str) -> (String, String) {
+    if generics.is_empty() {
+        return (String::new(), String::new());
+    }
+    let bounded: Vec<String> = generics.iter().map(|g| format!("{g}: {bound}")).collect();
+    (
+        format!("<{}>", bounded.join(", ")),
+        format!("<{}>", generics.join(", ")),
+    )
+}
+
+fn impl_serialize(name: &str, generics: &[String], body: &str) -> String {
+    let (params, args) = generic_header(generics, "::serde::Serialize");
     format!(
         "#[automatically_derived]\n\
-         impl ::serde::Serialize for {name} {{\n\
+         impl{params} ::serde::Serialize for {name}{args} {{\n\
            fn to_json_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
          }}"
     )
@@ -468,7 +534,7 @@ fn impl_serialize(name: &str, body: &str) -> String {
 
 fn gen_deserialize(item: &Item) -> String {
     match item {
-        Item::NamedStruct { name, fields } => {
+        Item::NamedStruct { name, generics, fields } => {
             let mut body = format!(
                 "let __obj = __v.as_object().ok_or_else(|| \
                  ::serde::Error::custom(\"expected object for {name}\"))?;\n"
@@ -483,9 +549,9 @@ fn gen_deserialize(item: &Item) -> String {
                 ));
             }
             body.push_str("})");
-            impl_deserialize(name, &body)
+            impl_deserialize(name, generics, &body)
         }
-        Item::TupleStruct { name, arity } => {
+        Item::TupleStruct { name, generics, arity } => {
             let body = if *arity == 1 {
                 format!("Ok({name}(::serde::Deserialize::from_json_value(__v)?))")
             } else {
@@ -501,7 +567,7 @@ fn gen_deserialize(item: &Item) -> String {
                 b.push_str(&format!("Ok({name}({}))", items.join(", ")));
                 b
             };
-            impl_deserialize(name, &body)
+            impl_deserialize(name, generics, &body)
         }
         Item::Enum { name, tag, variants } => {
             let body = if let Some(tag) = tag {
@@ -617,15 +683,16 @@ fn gen_deserialize(item: &Item) -> String {
                      }}"
                 )
             };
-            impl_deserialize(name, &body)
+            impl_deserialize(name, &[], &body)
         }
     }
 }
 
-fn impl_deserialize(name: &str, body: &str) -> String {
+fn impl_deserialize(name: &str, generics: &[String], body: &str) -> String {
+    let (params, args) = generic_header(generics, "::serde::Deserialize");
     format!(
         "#[automatically_derived]\n\
-         impl ::serde::Deserialize for {name} {{\n\
+         impl{params} ::serde::Deserialize for {name}{args} {{\n\
            fn from_json_value(__v: &::serde::Value) -> \
            ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
          }}"
