@@ -44,7 +44,6 @@ use fediscope_replication::eval::{
     AvailabilitySweep, RemovalPlan, Strategy,
 };
 use fediscope_worldgen::{Generator, ScaleTier, WorldConfig};
-use std::io::Write as _;
 use std::time::Instant;
 
 /// Render the replica-count list as a JSON array literal.
@@ -400,14 +399,10 @@ fn compare(
 }
 
 /// Append one JSON line to the trajectory file (and echo it to stdout).
+/// Delegates to [`fediscope_bench::record_line`], which rewrites the file
+/// via temp-then-rename so a mid-record kill can't tear the history.
 fn record(out: &str, json: &str) {
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(out)
-        .expect("open BENCH_avail.json");
-    writeln!(f, "{json}").expect("append BENCH_avail.json");
-    println!("{json}");
+    fediscope_bench::record_line(out, json);
 }
 
 fn main() {

@@ -28,7 +28,6 @@
 use fediscope_simnet::fedsim::{overlay, FanoutArena, FedSim, SimRun};
 use fediscope_simnet::{FedSimConfig, OverlaySpec};
 use fediscope_worldgen::{toots, Generator, ScaleTier, WorldConfig};
-use std::io::Write as _;
 use std::time::Instant;
 
 struct Args {
@@ -90,14 +89,10 @@ fn parse_args() -> Args {
 }
 
 /// Append one JSON line to the trajectory file (and echo it to stdout).
+/// Delegates to [`fediscope_bench::record_line`], which rewrites the file
+/// via temp-then-rename so a mid-record kill can't tear the history.
 fn record(out: &str, json: &str) {
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(out)
-        .expect("open BENCH_fedsim.json");
-    writeln!(f, "{json}").expect("append BENCH_fedsim.json");
-    println!("{json}");
+    fediscope_bench::record_line(out, json);
 }
 
 fn main() {

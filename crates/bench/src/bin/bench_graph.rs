@@ -33,7 +33,6 @@ use fediscope_graph::par;
 use fediscope_graph::removal::{RankBy, RemovalSweep};
 use fediscope_graph::DiGraph;
 use fediscope_worldgen::ScaleTier;
-use std::io::Write as _;
 use std::time::Instant;
 
 struct Args {
@@ -160,14 +159,10 @@ fn compare_engines(
 }
 
 /// Append one JSON line to the trajectory file (and echo it to stdout).
+/// Delegates to [`fediscope_bench::record_line`], which rewrites the file
+/// via temp-then-rename so a mid-record kill can't tear the history.
 fn record(out: &str, json: &str) {
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(out)
-        .expect("open BENCH_graph.json");
-    writeln!(f, "{json}").expect("append BENCH_graph.json");
-    println!("{json}");
+    fediscope_bench::record_line(out, json);
 }
 
 fn main() {

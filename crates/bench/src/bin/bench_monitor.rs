@@ -31,7 +31,6 @@ use fediscope_graph::par;
 use fediscope_model::schedule::OutageArena;
 use fediscope_monitor::{naive_section4, MonitorSweep, SweepConfig};
 use fediscope_worldgen::{Generator, ScaleTier, WorldConfig};
-use std::io::Write as _;
 use std::time::Instant;
 
 struct Args {
@@ -104,14 +103,10 @@ fn time(trials: usize, f: &dyn Fn()) -> f64 {
 }
 
 /// Append one JSON line to the trajectory file (and echo it to stdout).
+/// Delegates to [`fediscope_bench::record_line`], which rewrites the file
+/// via temp-then-rename so a mid-record kill can't tear the history.
 fn record(out: &str, json: &str) {
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(out)
-        .expect("open BENCH_monitor.json");
-    writeln!(f, "{json}").expect("append BENCH_monitor.json");
-    println!("{json}");
+    fediscope_bench::record_line(out, json);
 }
 
 fn main() {

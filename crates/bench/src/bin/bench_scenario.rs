@@ -33,7 +33,6 @@ use fediscope_replication::scenario::{
     ScenarioWorld,
 };
 use fediscope_worldgen::{streams, Generator, ScaleTier, WorldConfig};
-use std::io::Write as _;
 use std::time::Instant;
 
 struct Args {
@@ -122,14 +121,10 @@ fn frontier_json(grid: &Grid<FrontierCell>) -> String {
 }
 
 /// Append one JSON line to the trajectory file (and echo it to stdout).
+/// Delegates to [`fediscope_bench::record_line`], which rewrites the file
+/// via temp-then-rename so a mid-record kill can't tear the history.
 fn record(out: &str, json: &str) {
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(out)
-        .expect("open BENCH_scenario.json");
-    writeln!(f, "{json}").expect("append BENCH_scenario.json");
-    println!("{json}");
+    fediscope_bench::record_line(out, json);
 }
 
 fn main() {

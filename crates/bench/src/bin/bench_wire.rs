@@ -29,7 +29,6 @@ use fediscope_model::time::Epoch;
 use fediscope_model::world::World;
 use fediscope_simnet::{launch, FaultPlan};
 use fediscope_worldgen::{Generator, WorldConfig};
-use std::io::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -107,14 +106,10 @@ fn campaign(
 }
 
 /// Append one JSON line to the trajectory file (and echo it to stdout).
+/// Delegates to [`fediscope_bench::record_line`], which rewrites the file
+/// via temp-then-rename so a mid-record kill can't tear the history.
 fn record(out: &str, json: &str) {
-    let mut f = std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(out)
-        .expect("open BENCH_wire.json");
-    writeln!(f, "{json}").expect("append BENCH_wire.json");
-    println!("{json}");
+    fediscope_bench::record_line(out, json);
 }
 
 fn main() {

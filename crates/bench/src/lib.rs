@@ -10,7 +10,26 @@
 
 use fediscope_core::Observatory;
 use fediscope_graph::{DiGraph, GraphBuilder};
+use fediscope_recover::write_atomic;
 use fediscope_worldgen::{Generator, ScaleTier, WorldConfig};
+use std::path::Path;
+
+/// Append one JSON line to a `BENCH_*.json` trajectory file (and echo it
+/// to stdout). The file is rewritten whole via temp-then-rename
+/// ([`fediscope_recover::write_atomic`]) so a kill mid-record leaves the
+/// previous history intact instead of a torn final line.
+pub fn record_line(out: &str, json: &str) {
+    let path = Path::new(out);
+    let mut history = match std::fs::read(path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => panic!("read {out}: {e}"),
+    };
+    history.extend_from_slice(json.as_bytes());
+    history.push(b'\n');
+    write_atomic(path, &history).unwrap_or_else(|e| panic!("write {out}: {e}"));
+    println!("{json}");
+}
 
 /// Build the standard bench observatory (seeded, small scale so a full
 /// Criterion run stays in CI-friendly time).
@@ -54,6 +73,25 @@ pub fn tier_user_graph(tier: ScaleTier, seed: u64) -> DiGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn record_line_appends_atomically() {
+        let dir = std::env::temp_dir().join(format!("bench-record-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_test.json");
+        let out = path.to_str().unwrap();
+        record_line(out, "{\"a\":1}");
+        record_line(out, "{\"b\":2}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(text, "{\"a\":1}\n{\"b\":2}\n");
+        // No leftover temp file: the write is rename-into-place.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter(|e| e.as_ref().unwrap().file_name() != "BENCH_test.json")
+            .collect();
+        assert!(leftovers.is_empty(), "{leftovers:?}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
 
     #[test]
     fn bench_observatory_builds() {

@@ -3,7 +3,7 @@
 //! ```text
 //! fediscope gen     [--seed N] [--scale tiny|small|paper] [--out world.json]
 //! fediscope serve   [--seed N] [--scale tiny|small] [--ticks N] [--tick-ms N]
-//! fediscope crawl   [--seed N] [--scale tiny|small]
+//! fediscope crawl   [--seed N] [--scale tiny|small] [--checkpoint-dir DIR] [--resume]
 //! fediscope analyze [--seed N] [--scale tiny|small|paper] [--fast]
 //! ```
 //!
@@ -12,6 +12,13 @@
 //! boots a simulation and runs the full measurement pipeline against it;
 //! `analyze` runs the paper's analyses and verdicts (same as the `repro`
 //! binary, abbreviated).
+//!
+//! With `--checkpoint-dir`, `crawl` writes a framed snapshot (see
+//! `crates/recover`) after every monitor sweep — the accumulated dataset,
+//! circuit-breaker cooldowns, fault-injector state, and the virtual clock.
+//! `--resume` restarts a killed crawl from the newest good snapshot (torn
+//! frames are skipped and reported); the resumed crawl's output is
+//! bit-identical to one that never died.
 
 use fediscope_core::{report, verdicts, Observatory};
 #[cfg(feature = "net")]
@@ -38,6 +45,8 @@ struct Opts {
     ticks: u32,
     tick_ms: u64,
     fast: bool,
+    checkpoint_dir: Option<String>,
+    resume: bool,
 }
 
 fn parse_opts(args: &[String]) -> Opts {
@@ -48,6 +57,8 @@ fn parse_opts(args: &[String]) -> Opts {
         ticks: 200,
         tick_ms: 10,
         fast: false,
+        checkpoint_dir: None,
+        resume: false,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -60,11 +71,19 @@ fn parse_opts(args: &[String]) -> Opts {
                 o.tick_ms = it.next().and_then(|v| v.parse().ok()).expect("--tick-ms N")
             }
             "--fast" => o.fast = true,
+            "--checkpoint-dir" => {
+                o.checkpoint_dir = Some(it.next().expect("--checkpoint-dir path").clone())
+            }
+            "--resume" => o.resume = true,
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
             }
         }
+    }
+    if o.resume && o.checkpoint_dir.is_none() {
+        eprintln!("--resume needs --checkpoint-dir");
+        std::process::exit(2);
     }
     o
 }
@@ -165,9 +184,76 @@ fn cmd_serve(o: &Opts) {
     });
 }
 
+/// Frame kind tag for `crawl --checkpoint-dir` snapshots.
+#[cfg(feature = "net")]
+const CRAWL_KIND: &str = "cli-crawl";
+
+/// Schema version of [`CrawlCheckpoint`]. Bump on any shape change.
+#[cfg(feature = "net")]
+const CRAWL_STATE_VERSION: u32 = 1;
+
+/// What `crawl --checkpoint-dir` persists after each monitor sweep:
+/// enough to continue the campaign bit-identically on a fresh process.
+#[cfg(feature = "net")]
+#[derive(serde::Serialize, serde::Deserialize)]
+struct CrawlCheckpoint {
+    /// Monitor sweeps completed.
+    sweeps_done: u32,
+    /// Virtual clock at the checkpoint; the resumed runtime starts here.
+    virtual_nanos: u64,
+    /// Accumulated dataset + circuit-breaker rows.
+    monitor: fediscope_crawler::monitor::MonitorState,
+    /// Fault-injector counter / dead set / budget windows.
+    injector: fediscope_simnet::InjectorState,
+}
+
+/// Epochs between monitor sweeps, and sweeps in the campaign.
+#[cfg(feature = "net")]
+const SWEEP_STRIDE: u32 = 96;
+#[cfg(feature = "net")]
+const SWEEPS: u32 = 18;
+#[cfg(feature = "net")]
+const BASE_EPOCH: u32 = 40_000;
+
 #[cfg(feature = "net")]
 fn cmd_crawl(o: &Opts) {
-    let rt = tokio::runtime::Runtime::new().expect("tokio runtime");
+    use fediscope_recover::{encode_frame, recover_latest, DirStore, SnapshotStore};
+
+    let mut store = o
+        .checkpoint_dir
+        .as_ref()
+        .map(|d| DirStore::open(d).expect("open checkpoint dir"));
+    let resumed: Option<CrawlCheckpoint> = if o.resume {
+        let store = store.as_ref().expect("--resume needs --checkpoint-dir");
+        let rec = recover_latest(store, CRAWL_KIND, CRAWL_STATE_VERSION);
+        if rec.torn_skipped > 0 {
+            eprintln!(
+                "recovery: skipped {} torn/incompatible snapshot(s) at ticks {:?}",
+                rec.torn_skipped, rec.skipped_ticks
+            );
+        }
+        match &rec.good {
+            Some((meta, value)) => {
+                let c = serde::Deserialize::from_json_value(value)
+                    .expect("checksummed snapshot decodes");
+                eprintln!("recovery: resuming from sweep {}", meta.tick);
+                Some(c)
+            }
+            None => {
+                eprintln!("recovery: no usable snapshot; starting from scratch");
+                None
+            }
+        }
+    } else {
+        None
+    };
+
+    // A resumed process continues the snapshot's virtual timeline.
+    let rt = match &resumed {
+        Some(c) => tokio::runtime::Runtime::starting_at(c.virtual_nanos),
+        None => tokio::runtime::Runtime::new(),
+    }
+    .expect("tokio runtime");
     rt.block_on(async {
         let world = Arc::new(Generator::generate_world(config_for(o)));
         let net = launch(world.clone(), FaultPlan::default(), o.seed)
@@ -176,16 +262,49 @@ fn cmd_crawl(o: &Opts) {
         let seeds = SeedList::for_simnet(&world, net.addr());
         let politeness = Politeness::fast();
 
-        net.state.clock.set(Epoch(40_000));
-        let mut monitor = InstanceMonitor::new(seeds.clone(), politeness.clone());
-        monitor.poll_all(Epoch(40_000)).await;
+        let (mut monitor, start_sweep) = match &resumed {
+            Some(c) => {
+                net.state.faults.restore_state(&c.injector);
+                let m = InstanceMonitor::resume(seeds.clone(), politeness.clone(), &c.monitor);
+                (m, c.sweeps_done)
+            }
+            None => (InstanceMonitor::new(seeds.clone(), politeness.clone()), 0),
+        };
+        for sweep in start_sweep..SWEEPS {
+            let epoch = Epoch(BASE_EPOCH + sweep * SWEEP_STRIDE);
+            net.state.clock.set(epoch);
+            monitor.poll_all(epoch).await;
+            if let Some(store) = store.as_mut() {
+                let ckpt = CrawlCheckpoint {
+                    sweeps_done: sweep + 1,
+                    virtual_nanos: tokio::time::now_nanos(),
+                    monitor: monitor.capture(),
+                    injector: net.state.faults.export_state(),
+                };
+                let frame = encode_frame(
+                    CRAWL_KIND,
+                    CRAWL_STATE_VERSION,
+                    (sweep + 1) as u64,
+                    &serde::Serialize::to_json_value(&ckpt),
+                );
+                store.put((sweep + 1) as u64, &frame).expect("write checkpoint");
+            }
+        }
+        // The loop leaves the world clock at the final sweep's epoch — but
+        // a resume that lands past the last sweep skips the loop entirely,
+        // so pin it explicitly or the toot crawl below would run against
+        // the boot epoch's availability instead.
+        net.state.clock.set(Epoch(BASE_EPOCH + (SWEEPS - 1) * SWEEP_STRIDE));
         let up = monitor
             .dataset()
             .series
             .iter()
             .filter(|s| s.polls.last().is_some_and(|(_, r)| r.is_up()))
             .count();
-        println!("monitor: {up}/{} instances up at epoch 40000", seeds.len());
+        println!(
+            "monitor: {up}/{} instances up after {SWEEPS} sweeps",
+            seeds.len()
+        );
 
         let dataset = toots::crawl_toots(
             &seeds,

@@ -38,7 +38,7 @@ pub mod toots;
 
 pub use discovery::SeedList;
 #[cfg(feature = "net")]
-pub use monitor::InstanceMonitor;
+pub use monitor::{InstanceMonitor, MonitorState};
 pub use politeness::Politeness;
 #[cfg(feature = "net")]
 pub use retry::{fetch_with_retry, BreakerBank, FetchResult};

@@ -12,8 +12,22 @@ use crate::retry::{fetch_with_retry, BreakerBank, FetchResult};
 use fediscope_httpwire::Client;
 use fediscope_model::datasets::{InstanceApiInfo, InstancesDataset, ObservedSeries, PollResult};
 use fediscope_model::time::Epoch;
+use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 use tokio::sync::Semaphore;
+
+/// Resumable monitor state: everything [`InstanceMonitor`] mutates across
+/// sweeps. Config (seed list, politeness, client) is *not* stored — resume
+/// reconstructs it, so a snapshot can never disagree with its config. The
+/// breaker rows matter for bit-identical resume: an open breaker's
+/// remaining cooldown shapes which polls fast-fail after the crash.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonitorState {
+    /// Polls accumulated so far, one series per seed.
+    pub dataset: InstancesDataset,
+    /// Circuit-breaker rows ([`BreakerBank::export_state`]).
+    pub breakers: Vec<(u32, u32, u32)>,
+}
 
 /// Accumulating monitor.
 pub struct InstanceMonitor {
@@ -50,6 +64,33 @@ impl InstanceMonitor {
     pub fn with_client(mut self, client: Client) -> Self {
         self.client = client;
         self
+    }
+
+    /// Snapshot the monitor's mutable state for a checkpoint.
+    pub fn capture(&self) -> MonitorState {
+        MonitorState {
+            dataset: self.dataset.clone(),
+            breakers: self.breakers.export_state(),
+        }
+    }
+
+    /// Rebuild a monitor from a checkpoint on a fresh executor. The
+    /// accumulated polls and breaker cooldowns continue exactly where the
+    /// crashed process stopped; `seeds` and `politeness` come from config,
+    /// exactly as in [`InstanceMonitor::new`].
+    pub fn resume(seeds: SeedList, politeness: Politeness, state: &MonitorState) -> Self {
+        assert_eq!(
+            state.dataset.series.len(),
+            seeds.len(),
+            "snapshot was taken over a different seed list"
+        );
+        Self {
+            seeds,
+            politeness,
+            client: Client::default(),
+            dataset: state.dataset.clone(),
+            breakers: Arc::new(BreakerBank::restore_state(&state.breakers)),
+        }
     }
 
     /// Poll every seed once, recording results under `epoch`.

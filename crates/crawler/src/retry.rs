@@ -114,6 +114,42 @@ impl BreakerBank {
         }
     }
 
+    /// Snapshot the bank as `(instance, consecutive, cooldown)` rows,
+    /// sorted by instance id. All-zero rows (a closed breaker with no
+    /// failure history — behaviourally identical to an absent entry) are
+    /// omitted, so two banks that behave identically export identically.
+    pub fn export_state(&self) -> Vec<(u32, u32, u32)> {
+        let map = self.inner.lock().expect("breaker bank poisoned");
+        let mut rows: Vec<(u32, u32, u32)> = map
+            .iter()
+            .filter(|(_, b)| b.consecutive != 0 || b.cooldown != 0)
+            .map(|(&id, b)| (id, b.consecutive, b.cooldown))
+            .collect();
+        rows.sort_unstable();
+        rows
+    }
+
+    /// Rebuild a bank from exported rows (checkpoint resume). Failure
+    /// counts and cooldown budgets continue exactly where they stopped —
+    /// an open breaker stays open for the *remaining* fast-fails, never a
+    /// fresh full cooldown.
+    pub fn restore_state(rows: &[(u32, u32, u32)]) -> Self {
+        let bank = Self::new();
+        {
+            let mut map = bank.inner.lock().expect("breaker bank poisoned");
+            for &(id, consecutive, cooldown) in rows {
+                map.insert(
+                    id,
+                    Breaker {
+                        consecutive,
+                        cooldown,
+                    },
+                );
+            }
+        }
+        bank
+    }
+
     /// Number of currently open breakers (diagnostics).
     pub fn open_count(&self, pol: &Politeness) -> usize {
         if pol.breaker_threshold == 0 {
@@ -276,6 +312,39 @@ mod tests {
         }
         assert!(!bank.admit(&p, 5));
         assert!(bank.admit(&p, 6), "instance 6 unaffected");
+    }
+
+    #[test]
+    fn export_restore_does_not_reset_cooldowns() {
+        let p = pol();
+        let bank = BreakerBank::new();
+        // instance 3: open, with 2 of 4 cooldown fast-fails already spent
+        for _ in 0..3 {
+            bank.record_unreachable(&p, 3);
+        }
+        assert!(!bank.admit(&p, 3));
+        assert!(!bank.admit(&p, 3));
+        // instance 9: one failure, still closed
+        bank.record_unreachable(&p, 9);
+        // instance 5: failed then recovered — must not appear in the export
+        bank.record_unreachable(&p, 5);
+        bank.record_reachable(&p, 5);
+
+        let rows = bank.export_state();
+        assert_eq!(rows, vec![(3, 3, 2), (9, 1, 0)]);
+
+        let restored = BreakerBank::restore_state(&rows);
+        assert_eq!(restored.export_state(), rows, "export is a fixpoint");
+        // the open breaker serves exactly its REMAINING 2 fast-fails, then
+        // admits the half-open probe — the cooldown did not refill
+        assert!(!restored.admit(&p, 3));
+        assert!(!restored.admit(&p, 3));
+        assert!(restored.admit(&p, 3));
+        // the closed breaker opens after 2 more failures, not 3
+        assert!(restored.admit(&p, 9));
+        restored.record_unreachable(&p, 9);
+        restored.record_unreachable(&p, 9);
+        assert_eq!(restored.open_count(&p), 2);
     }
 
     #[test]

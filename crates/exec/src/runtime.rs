@@ -233,6 +233,18 @@ impl Runtime {
         })
     }
 
+    /// Build a runtime whose virtual clock starts at `nanos` instead of
+    /// zero. A process resumed from a checkpoint continues the snapshot's
+    /// virtual timeline: deadlines seeded from "now" (backoff timers,
+    /// retry-after waits, probe schedules) land at the same virtual
+    /// instants they would have in the uninterrupted run, instead of
+    /// being re-anchored to a rewound clock.
+    pub fn starting_at(nanos: u64) -> std::io::Result<Self> {
+        let rt = Self::new()?;
+        rt.shared.now.store(nanos, Ordering::Release);
+        Ok(rt)
+    }
+
     /// Drive `fut` (and every task it spawns) to completion, advancing
     /// virtual time whenever the ready queue drains.
     ///
@@ -438,6 +450,21 @@ mod tests {
             h.abort();
             let err = h.await.unwrap_err();
             assert!(err.is_cancelled());
+        });
+    }
+
+    #[test]
+    fn starting_at_offsets_the_virtual_clock() {
+        let rt = Runtime::starting_at(5_000_000_000).unwrap();
+        rt.block_on(async {
+            assert_eq!(crate::time::now_nanos(), 5_000_000_000);
+            crate::time::sleep(Duration::from_millis(3)).await;
+            assert_eq!(crate::time::now_nanos(), 5_003_000_000);
+        });
+        // and the default constructor still starts at zero
+        let rt = Runtime::new().unwrap();
+        rt.block_on(async {
+            assert_eq!(crate::time::now_nanos(), 0);
         });
     }
 

@@ -33,7 +33,8 @@
 
 use crate::clock::SimClock;
 use parking_lot::Mutex;
-use std::collections::{HashMap, HashSet};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -150,6 +151,21 @@ pub struct FaultInjector {
     budgets: Mutex<HashMap<u32, (u32, u32)>>,
 }
 
+/// Serialized mutable state of a [`FaultInjector`] — everything its
+/// decisions depend on besides the immutable `(plan, seed)` pair. Part
+/// of crawl checkpoints: resuming a fault-injected crawl on a fresh
+/// executor must continue the *same* fault transcript, or harsh plans
+/// (permanent death, budgets) would diverge from the uninterrupted run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectorState {
+    /// Decision counter (the whole RNG state).
+    pub counter: u64,
+    /// Instances that drew permanent death, ascending.
+    pub dead: Vec<u32>,
+    /// Per-instance `(epoch, used)` budget windows.
+    pub budgets: BTreeMap<u32, (u32, u32)>,
+}
+
 fn mix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
@@ -239,6 +255,30 @@ impl FaultInjector {
     /// Number of instances that have died so far.
     pub fn death_count(&self) -> usize {
         self.dead.lock().len()
+    }
+
+    /// Capture the injector's mutable state for a checkpoint. The counter
+    /// *is* the RNG — decisions are `mix(seed, counter)` — so a restored
+    /// injector continues the exact fault transcript the dead one would
+    /// have produced; the dead set and budget windows ride along so
+    /// permanent deaths stay permanent and allowances don't refill.
+    /// (Hash containers are emitted sorted: deterministic bytes.)
+    pub fn export_state(&self) -> InjectorState {
+        let mut dead: Vec<u32> = self.dead.lock().iter().copied().collect();
+        dead.sort_unstable();
+        InjectorState {
+            counter: self.counter.load(Ordering::Relaxed),
+            dead,
+            budgets: self.budgets.lock().iter().map(|(&k, &v)| (k, v)).collect(),
+        }
+    }
+
+    /// Load a captured [`InjectorState`] into this (fresh) injector,
+    /// continuing the decision stream where the snapshot left off.
+    pub fn restore_state(&self, state: &InjectorState) {
+        self.counter.store(state.counter, Ordering::Relaxed);
+        *self.dead.lock() = state.dead.iter().copied().collect();
+        *self.budgets.lock() = state.budgets.iter().map(|(&k, &v)| (k, v)).collect();
     }
 
     /// Enforce the per-epoch request budget for `instance`. Returns `false`
@@ -424,6 +464,45 @@ mod tests {
         assert!(inj.consume_budget(7));
         assert!(inj.consume_budget(7));
         assert!(!inj.consume_budget(7));
+    }
+
+    /// Checkpoint/resume pin: a restored injector continues the exact
+    /// decision stream — counter, permanent deaths, and *in-window budget
+    /// usage* all survive; nothing resets just because the process did.
+    #[test]
+    fn export_restore_continues_the_stream() {
+        let clock = SimClock::new();
+        let plan = FaultPlan {
+            per_epoch_budget: 5,
+            ..FaultPlan::harsh()
+        };
+        let a = FaultInjector::new(plan.clone(), 33).with_clock(clock.clone());
+        // burn some decisions, kill an instance, use some budget
+        for i in 0..500 {
+            let _ = a.decide_for(i % 7);
+        }
+        for _ in 0..3 {
+            let _ = a.consume_budget(2);
+        }
+        let state = a.export_state();
+        // serde round trip (the exact path the checkpoint frame takes)
+        let v = serde::Serialize::to_json_value(&state);
+        let state: InjectorState = serde::Deserialize::from_json_value(&v).unwrap();
+
+        let b = FaultInjector::new(plan, 33).with_clock(clock.clone());
+        b.restore_state(&state);
+        assert_eq!(b.export_state(), state);
+        // identical future: decisions, death persistence, budget windows
+        for i in 0..500 {
+            assert_eq!(a.decide_for(i % 7), b.decide_for(i % 7), "decision {i}");
+        }
+        // remaining allowance matches (5 budget, 3 used): 2 more pass
+        assert_eq!(a.consume_budget(2), b.consume_budget(2));
+        assert_eq!(a.consume_budget(2), b.consume_budget(2));
+        assert!(!b.consume_budget(2), "restored budget window must not refill");
+        // a fresh injector WITHOUT restore diverges (proves state matters)
+        let fresh = FaultInjector::new(FaultPlan::harsh(), 33);
+        assert_eq!(fresh.export_state().counter, 0);
     }
 
     #[test]

@@ -23,12 +23,13 @@ use fediscope_model::schedule::OutageArena;
 use fediscope_model::time::Epoch;
 use fediscope_model::TootArena;
 
-use super::events::{Attempt, Msg, Outcome, Verdict, PROBE_SEQ};
+use super::events::{Attempt, EventDigest, Msg, Outcome, Verdict, PROBE_SEQ};
 use super::fanout::FanoutArena;
 use super::metrics::{percentile, DeliveryReport, SimRun, TickStat};
 use super::queues::DestState;
-use super::redelivery::backoff_delay;
-use super::suspension::SourceState;
+use super::redelivery::{backoff_delay, RetryQueue};
+use super::snapshot::{DestSnap, FedSimState, SourceSnap, SuspensionSnap};
+use super::suspension::{SourceState, Suspension};
 use super::FedSimConfig;
 
 /// Run `f` over every state, split into `shards` contiguous chunks on
@@ -171,6 +172,24 @@ impl<'a> FedSim<'a> {
     /// Messages in flight (created but not yet delivered or dropped).
     fn backlog(&self) -> u64 {
         self.fanned_out - self.delivered_total - self.dropped_total
+    }
+
+    /// Ticks completed so far (the simulator's virtual clock).
+    pub fn tick(&self) -> u32 {
+        self.tick
+    }
+
+    /// True when [`run`](Self::run) would stop: the total tick budget is
+    /// spent, or the toot horizon has passed and every queue is empty.
+    pub fn is_done(&self) -> bool {
+        self.tick >= self.total_ticks || (self.tick >= self.horizon && self.backlog() == 0)
+    }
+
+    /// Advance exactly one tick — the checkpointing driver's entry point.
+    /// `run` is `step_tick` until `is_done`, then [`finish`](Self::finish);
+    /// interleaving snapshots between steps cannot change the stream.
+    pub fn step_tick(&mut self) {
+        self.step();
     }
 
     /// Advance one tick through all four phases.
@@ -327,16 +346,128 @@ impl<'a> FedSim<'a> {
     /// Run to completion: through the toot horizon, then drain until all
     /// queues empty or the drain budget expires.
     pub fn run(mut self) -> SimRun {
-        while self.tick < self.total_ticks {
-            if self.tick >= self.horizon && self.backlog() == 0 {
-                break;
-            }
+        while !self.is_done() {
             self.step();
         }
-        self.finalize()
+        self.finish()
     }
 
-    fn finalize(self) -> SimRun {
+    /// Capture the full resumable state: every counter, queue, breaker,
+    /// suspension, digest accumulator, and the series so far. A simulator
+    /// rebuilt via [`resume`](Self::resume) from this state steps
+    /// bit-identically to one that never stopped.
+    pub fn capture(&self) -> FedSimState {
+        FedSimState {
+            tick: self.tick,
+            next_seq: self.next_seq,
+            fanned_out: self.fanned_out,
+            delivered_total: self.delivered_total,
+            dropped_total: self.dropped_total,
+            probes_total: self.probes_total,
+            attempts_total: self.attempts_total,
+            rejected_full_total: self.rejected_full_total,
+            rejected_down_total: self.rejected_down_total,
+            series: self.series.clone(),
+            sources: self
+                .sources
+                .iter()
+                .map(|s| SourceSnap {
+                    retry: s.retry.entries(),
+                    suspended: s
+                        .suspended
+                        .iter()
+                        .map(|(&dst, susp)| {
+                            (dst, SuspensionSnap {
+                                parked: susp.parked.clone(),
+                                probe_due: susp.probe_due,
+                            })
+                        })
+                        .collect(),
+                    breaker: s.breaker.iter().map(|(&d, &c)| (d, c)).collect(),
+                    dropped: s.dropped,
+                    redelivery_attempts: s.redelivery_attempts,
+                    suspensions: s.suspensions,
+                    recovered: s.recovered,
+                    digest: s.digest.value(),
+                })
+                .collect(),
+            dests: self
+                .dests
+                .iter()
+                .map(|d| DestSnap {
+                    inbox: d.inbox.clone(),
+                    peak_depth: d.peak_depth,
+                    first_saturated: d.first_saturated,
+                    delivered_prompt: d.delivered_prompt,
+                    delivered_delayed: d.delivered_delayed,
+                    latency_sum: d.latency_sum,
+                    digest: d.digest.value(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Rebuild a mid-run simulator from a captured [`FedSimState`] on a
+    /// fresh process/executor. Takes the same immutable context `new`
+    /// does (config, topology, toots, user counts, and the outage overlay
+    /// — all deterministically reconstructible from the config) plus the
+    /// snapshot; derived fields (inbox capacity/service rates, horizon)
+    /// are recomputed, so the snapshot carries only true state.
+    pub fn resume(
+        cfg: FedSimConfig,
+        fanout: &'a FanoutArena,
+        toots: &'a TootArena,
+        dest_users: &[u32],
+        outages: OutageArena,
+        state: &FedSimState,
+    ) -> Self {
+        let mut sim = FedSim::new(cfg, fanout, toots, dest_users, outages);
+        let n = sim.fanout.n_instances();
+        assert_eq!(state.sources.len(), n, "snapshot is for a different world");
+        assert_eq!(state.dests.len(), n, "snapshot is for a different world");
+        assert!(state.tick <= sim.total_ticks, "snapshot past the tick budget");
+
+        sim.tick = state.tick;
+        sim.next_seq = state.next_seq;
+        sim.fanned_out = state.fanned_out;
+        sim.delivered_total = state.delivered_total;
+        sim.dropped_total = state.dropped_total;
+        sim.probes_total = state.probes_total;
+        sim.attempts_total = state.attempts_total;
+        sim.rejected_full_total = state.rejected_full_total;
+        sim.rejected_down_total = state.rejected_down_total;
+        sim.series = state.series.clone();
+        for (s, snap) in sim.sources.iter_mut().zip(&state.sources) {
+            s.retry = RetryQueue::from_entries(snap.retry.iter().copied());
+            s.suspended = snap
+                .suspended
+                .iter()
+                .map(|(&dst, ss)| {
+                    (dst, Suspension { parked: ss.parked.clone(), probe_due: ss.probe_due })
+                })
+                .collect();
+            s.breaker = snap.breaker.iter().map(|(&d, &c)| (d, c)).collect();
+            s.dropped = snap.dropped;
+            s.redelivery_attempts = snap.redelivery_attempts;
+            s.suspensions = snap.suspensions;
+            s.recovered = snap.recovered;
+            s.digest = EventDigest::restore(snap.digest);
+        }
+        for (d, snap) in sim.dests.iter_mut().zip(&state.dests) {
+            d.inbox = snap.inbox.clone();
+            d.peak_depth = snap.peak_depth;
+            d.first_saturated = snap.first_saturated;
+            d.delivered_prompt = snap.delivered_prompt;
+            d.delivered_delayed = snap.delivered_delayed;
+            d.latency_sum = snap.latency_sum;
+            d.digest = EventDigest::restore(snap.digest);
+        }
+        sim
+    }
+
+    /// Finalize into the report + series (the tail of [`run`](Self::run);
+    /// public so a checkpoint-driven run can finish the same way).
+    pub fn finish(self) -> SimRun {
         let drained = self.backlog() == 0;
         let time_to_drain = if drained {
             (self.tick.max(self.horizon) - self.horizon) as i64

@@ -17,7 +17,12 @@
 pub const PROBE_SEQ: u32 = u32::MAX;
 
 /// One federation message: a toot notification bound for one remote
-/// instance's inbox.
+/// instance's inbox. In-flight messages are part of the checkpoint state
+/// (`fedsim::snapshot`) — and since a checkpoint can hold tens of
+/// thousands of them, whole queues serialize as one packed byte column
+/// ([`Msg::write_le`] records), not one value-tree node per field:
+/// checkpoint encode time scales with node count, and queued mail
+/// dominates the tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub struct Msg {
     /// Globally unique fan-out sequence number (canonical creation order).
@@ -28,6 +33,26 @@ pub struct Msg {
     pub created: u32,
     /// Failed delivery attempts so far.
     pub attempts: u32,
+}
+
+impl Msg {
+    /// Size of one little-endian checkpoint record.
+    pub const LE_LEN: usize = 16;
+
+    /// Append this message as a fixed 16-byte little-endian record
+    /// (`seq, dst, created, attempts`, 4 bytes each).
+    pub fn write_le(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.seq.to_le_bytes());
+        out.extend_from_slice(&self.dst.to_le_bytes());
+        out.extend_from_slice(&self.created.to_le_bytes());
+        out.extend_from_slice(&self.attempts.to_le_bytes());
+    }
+
+    /// Read one record back; `b` must be exactly [`Msg::LE_LEN`] bytes.
+    pub fn read_le(b: &[u8]) -> Msg {
+        let word = |i: usize| u32::from_le_bytes(b[4 * i..4 * i + 4].try_into().unwrap());
+        Msg { seq: word(0), dst: word(1), created: word(2), attempts: word(3) }
+    }
 }
 
 /// One send of a message (or a synthetic probe) from a source instance.
@@ -107,6 +132,13 @@ impl EventDigest {
     /// The current value.
     pub fn value(self) -> u64 {
         self.0
+    }
+
+    /// Rebuild a digest from a previously captured [`value`](Self::value)
+    /// — the accumulator state is the value, so folds continue exactly
+    /// where the captured digest left off (checkpoint/resume).
+    pub fn restore(value: u64) -> Self {
+        EventDigest(value)
     }
 }
 

@@ -11,6 +11,9 @@ use serde::{Deserialize, Serialize};
 use super::OverlaySpec;
 
 /// One tick of aggregate activity (the degradation time series).
+/// Serializable: the series accumulated so far rides along in checkpoints,
+/// one compact array per tick (`[fanned, attempts, …, backlog]` in field
+/// order — a checkpoint carries hundreds of these, so no field names).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct TickStat {
     /// New messages fanned out this tick.
@@ -31,6 +34,42 @@ pub struct TickStat {
     pub dropped: u32,
     /// Messages in flight after this tick (inboxes + retry + parked).
     pub backlog: u64,
+}
+
+impl Serialize for TickStat {
+    fn to_json_value(&self) -> serde::Value {
+        serde::Value::Array(vec![
+            self.fanned.to_json_value(),
+            self.attempts.to_json_value(),
+            self.probes.to_json_value(),
+            self.accepted.to_json_value(),
+            self.rejected_full.to_json_value(),
+            self.rejected_down.to_json_value(),
+            self.delivered.to_json_value(),
+            self.dropped.to_json_value(),
+            self.backlog.to_json_value(),
+        ])
+    }
+}
+
+impl Deserialize for TickStat {
+    fn from_json_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let a = v
+            .as_array()
+            .filter(|a| a.len() == 9)
+            .ok_or_else(|| serde::Error::custom("TickStat: expected 9-element array"))?;
+        Ok(TickStat {
+            fanned: u32::from_json_value(&a[0])?,
+            attempts: u32::from_json_value(&a[1])?,
+            probes: u32::from_json_value(&a[2])?,
+            accepted: u32::from_json_value(&a[3])?,
+            rejected_full: u32::from_json_value(&a[4])?,
+            rejected_down: u32::from_json_value(&a[5])?,
+            delivered: u32::from_json_value(&a[6])?,
+            dropped: u32::from_json_value(&a[7])?,
+            backlog: u64::from_json_value(&a[8])?,
+        })
+    }
 }
 
 /// End-of-run summary; serializable into `BENCH_fedsim.json` records.

@@ -20,7 +20,9 @@
 //! - [`suspension`]: the circuit breaker and parked mail,
 //! - [`metrics`]: per-tick series and the conservation-checked report,
 //! - [`overlay`]: §4/§5 schedules rebased onto the simulation clock,
-//! - [`engine`]: the tick-synchronous sharded BSP loop.
+//! - [`engine`]: the tick-synchronous sharded BSP loop,
+//! - [`snapshot`]: checkpoint/resume state (see `crates/recover`) with
+//!   the crash-then-resume ≡ uninterrupted bit-identity guarantee.
 //!
 //! **Determinism contract**: same seed, same world, same config ⇒
 //! bit-identical per-tick series, report, and `event_hash` at any shard
@@ -34,6 +36,7 @@ pub mod metrics;
 pub mod overlay;
 pub mod queues;
 pub mod redelivery;
+pub mod snapshot;
 pub mod suspension;
 
 pub use engine::FedSim;
@@ -42,6 +45,7 @@ pub use fanout::FanoutArena;
 pub use metrics::{DeliveryReport, SimRun, TickStat};
 pub use queues::DestState;
 pub use redelivery::{backoff_delay, RetryQueue};
+pub use snapshot::{resume_or_restart, FedSimState, RecoveryInfo};
 pub use suspension::{SourceState, Suspension};
 
 use fediscope_model::ScaleTier;

@@ -46,6 +46,25 @@ impl RetryQueue {
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
     }
+
+    /// Every scheduled entry in pop order (ascending `(due, msg)`), for
+    /// checkpoints. The heap's pop order is total — `Msg`'s unique `seq`
+    /// breaks all ties — so this sorted list fully determines future
+    /// behaviour.
+    pub fn entries(&self) -> Vec<(u32, Msg)> {
+        let mut v: Vec<(u32, Msg)> =
+            self.heap.iter().map(|std::cmp::Reverse(e)| *e).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Rebuild a queue from captured [`entries`](Self::entries); the
+    /// restored queue pops the identical sequence the original would have.
+    pub fn from_entries(entries: impl IntoIterator<Item = (u32, Msg)>) -> Self {
+        RetryQueue {
+            heap: entries.into_iter().map(Reverse).collect(),
+        }
+    }
 }
 
 /// Retry delay in ticks after a message's `attempts`-th failure:

@@ -34,7 +34,7 @@ pub mod state;
 pub mod timelines;
 
 pub use clock::SimClock;
-pub use fault::{FaultDecision, FaultInjector, FaultPlan};
+pub use fault::{FaultDecision, FaultInjector, FaultPlan, InjectorState};
 pub use fedsim::{DeliveryReport, FanoutArena, FedSim, FedSimConfig, OverlaySpec, SimRun};
 #[cfg(feature = "net")]
 pub use net::{launch, SimNetHandle};

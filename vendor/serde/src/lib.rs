@@ -4,9 +4,14 @@
 //! compact serde replacement specialised to the one data format the toolkit
 //! uses: JSON. [`Serialize`]/[`Deserialize`] convert to and from an
 //! order-preserving [`Value`] tree, `serde_derive` provides a real derive
-//! (structs, newtypes, unit enums, internally tagged enums, `rename`,
+//! (structs, newtypes, generics, enums with unit/newtype/tuple/struct
+//! variants — externally or internally tagged — `rename`,
 //! `skip_serializing_if`), and the sibling `serde_json` facade adds the
-//! text layer.
+//! text layer. Container impls cover `Vec`, slices, tuples, `Option`,
+//! `BTreeMap`/`HashMap` (string or integer keys via [`MapKey`], hash maps
+//! emitted in sorted key order for deterministic bytes), `VecDeque`, and
+//! exact `u128`/`i128` as decimal strings — the shapes the checkpoint
+//! format in `crates/recover` snapshots.
 
 pub use serde_derive::{Deserialize, Serialize};
 
@@ -190,6 +195,13 @@ pub enum Value {
     Array(Vec<Value>),
     /// An object.
     Object(Map),
+    /// Raw binary data. Not a JSON type: snapshot payloads (see
+    /// `crates/recover`) use it for packed fixed-width record columns,
+    /// where one node standing in for thousands of numbers keeps
+    /// checkpoint encode time off the hot path. The JSON text writer
+    /// renders it as a lowercase-hex string (one-way: the parser has no
+    /// bytes syntax); the binary snapshot codec round-trips it exactly.
+    Bytes(Vec<u8>),
 }
 
 static NULL: Value = Value::Null;
@@ -279,6 +291,14 @@ impl Value {
     pub fn as_object_mut(&mut self) -> Option<&mut Map> {
         match self {
             Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Binary payload.
+    pub fn as_bytes(&self) -> Option<&[u8]> {
+        match self {
+            Value::Bytes(b) => Some(b),
             _ => None,
         }
     }
@@ -544,6 +564,149 @@ impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
     }
 }
 
+// --------------------------------------------------------------- snapshots
+//
+// The checkpoint format (crates/recover) serialises engine state: map-valued
+// fields (breaker tables, budget windows), deques (inboxes, parked mail), and
+// u128 accumulators (storage-cost numerators). JSON objects key on strings,
+// so map keys go through [`MapKey`]; hash maps are written in sorted key
+// order so the byte stream is deterministic regardless of hasher state.
+
+/// A type usable as a JSON object key: round-trips through a string.
+pub trait MapKey: Sized {
+    /// The key rendered as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parse the key back.
+    fn from_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_mapkey_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String { self.to_string() }
+            fn from_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(concat!("bad ", stringify!($t), " map key"))
+                })
+            }
+        }
+    )*};
+}
+impl_mapkey_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for std::collections::BTreeMap<K, V> {
+    fn to_json_value(&self) -> Value {
+        // BTreeMap iterates in key order: deterministic as-is.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_json_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for std::collections::BTreeMap<K, V> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::custom("expected object for map"))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K, V, S> Serialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey,
+    V: Serialize,
+{
+    fn to_json_value(&self) -> Value {
+        // Hash iteration order is arbitrary: sort by rendered key so the
+        // output bytes are deterministic.
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.to_json_value()))
+            .collect();
+        entries.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries.into_iter().collect())
+    }
+}
+
+impl<K, V, S> Deserialize for std::collections::HashMap<K, V, S>
+where
+    K: MapKey + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        let obj = v.as_object().ok_or_else(|| Error::custom("expected object for map"))?;
+        obj.iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_json_value(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::VecDeque<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for std::collections::VecDeque<T> {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::custom("expected array"))?
+            .iter()
+            .map(T::from_json_value)
+            .collect()
+    }
+}
+
+// u128/i128 exceed Number's u64 payload: carried as decimal strings,
+// exactly (never through f64).
+impl Serialize for u128 {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for u128 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        // accept a plain number too (small accumulators, hand-written JSON)
+        if let Some(u) = v.as_u64() {
+            return Ok(u as u128);
+        }
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::custom("expected u128 (decimal string)"))
+    }
+}
+
+impl Serialize for i128 {
+    fn to_json_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Deserialize for i128 {
+    fn from_json_value(v: &Value) -> Result<Self, Error> {
+        if let Some(i) = v.as_i64() {
+            return Ok(i as i128);
+        }
+        v.as_str()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| Error::custom("expected i128 (decimal string)"))
+    }
+}
+
 impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
     fn to_json_value(&self) -> Value {
         Value::Array(vec![
@@ -617,5 +780,79 @@ mod tests {
     fn number_cross_variant_equality() {
         assert_eq!(Value::from(1u64), Value::from(1i64));
         assert_ne!(Value::from(1u64), Value::from(1.0f64));
+    }
+
+    #[test]
+    fn btreemap_round_trip_integer_keys() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert(42u32, vec![1u64, 2, 3]);
+        m.insert(7u32, vec![]);
+        let v = m.to_json_value();
+        // integer keys become decimal object keys
+        assert!(v.as_object().unwrap().get("42").is_some());
+        let back: std::collections::BTreeMap<u32, Vec<u64>> =
+            Deserialize::from_json_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn hashmap_round_trip_and_deterministic_order() {
+        let mut m = std::collections::HashMap::new();
+        for k in [9u32, 1, 5, 3, 7] {
+            m.insert(k, (k as u64) * 10);
+        }
+        let v = m.to_json_value();
+        // serialized in sorted key order regardless of hasher state
+        let keys: Vec<&str> =
+            v.as_object().unwrap().iter().map(|(k, _)| k.as_str()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted);
+        let back: std::collections::HashMap<u32, u64> =
+            Deserialize::from_json_value(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn string_keyed_map_round_trip() {
+        let mut m = std::collections::BTreeMap::new();
+        m.insert("alpha".to_string(), Some(1u32));
+        m.insert("beta".to_string(), None);
+        let back: std::collections::BTreeMap<String, Option<u32>> =
+            Deserialize::from_json_value(&m.to_json_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn bad_map_key_is_error_not_panic() {
+        let mut obj = Map::new();
+        obj.insert("not-a-number".into(), Value::from(1u32));
+        let r: Result<std::collections::BTreeMap<u32, u32>, Error> =
+            Deserialize::from_json_value(&Value::Object(obj));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn vecdeque_round_trip_preserves_order() {
+        let mut q = std::collections::VecDeque::new();
+        q.push_back(2u32);
+        q.push_back(3);
+        q.push_front(1);
+        let back: std::collections::VecDeque<u32> =
+            Deserialize::from_json_value(&q.to_json_value()).unwrap();
+        assert_eq!(back, q);
+        assert_eq!(back.iter().copied().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn u128_round_trip_exact() {
+        // larger than any u64: must survive exactly (via decimal string)
+        let big: u128 = (u64::MAX as u128) * 1000 + 17;
+        let v = big.to_json_value();
+        assert_eq!(u128::from_json_value(&v).unwrap(), big);
+        // small values may arrive as plain numbers (hand-written JSON)
+        assert_eq!(u128::from_json_value(&Value::from(5u64)).unwrap(), 5u128);
+        let neg: i128 = -(u64::MAX as i128) - 12345;
+        assert_eq!(i128::from_json_value(&neg.to_json_value()).unwrap(), neg);
     }
 }

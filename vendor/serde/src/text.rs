@@ -39,6 +39,15 @@ fn write_value(v: &Value, out: &mut String) {
             }
             out.push('}');
         }
+        // Not a JSON type: rendered as lowercase hex for debuggability.
+        // One-way — the parser reads this back as a plain string.
+        Value::Bytes(b) => {
+            out.push('"');
+            for byte in b {
+                out.push_str(&format!("{byte:02x}"));
+            }
+            out.push('"');
+        }
     }
 }
 

@@ -30,6 +30,11 @@ pub mod time {
         interval, sleep, timeout, Interval, MissedTickBehavior, Sleep, Timeout,
     };
 
+    // Not part of real tokio's surface: the deterministic executor's
+    // virtual clock, read by checkpointing callers so a resumed process
+    // can continue the same virtual timeline (`Runtime::starting_at`).
+    pub use fediscope_exec::time::now_nanos;
+
     /// Time error types.
     pub mod error {
         pub use fediscope_exec::time::Elapsed;
