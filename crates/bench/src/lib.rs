@@ -9,7 +9,7 @@
 #![warn(missing_docs)]
 
 use fediscope_core::Observatory;
-use fediscope_graph::{DiGraph, GraphBuilder};
+use fediscope_graph::DiGraph;
 use fediscope_recover::write_atomic;
 use fediscope_worldgen::{Generator, ScaleTier, WorldConfig};
 use std::path::Path;
@@ -37,17 +37,22 @@ pub fn bench_observatory(seed: u64) -> Observatory {
     Observatory::new(Generator::generate_world(WorldConfig::small(seed)))
 }
 
-/// Stream a config's follower graph straight into the CSR builder: no
-/// intermediate edge list, no availability/growth/Twitter stages — the
-/// cheapest way to stand up a million-user graph.
+/// Build a config's follower graph straight into CSR form: the social
+/// cursor's sharded segments (no intermediate edge list, no
+/// availability/growth/Twitter stages) feed
+/// [`DiGraph::from_sorted_blocks`], which skips `GraphBuilder`'s global
+/// edge sort — the cheapest way to stand up a million-user graph.
 fn streamed_user_graph(cfg: &WorldConfig) -> DiGraph {
-    let mut b = GraphBuilder::with_capacity(
-        cfg.n_users as u32,
-        (cfg.n_users as f64 * cfg.mean_out_degree) as usize,
-    );
-    let n = Generator::stream_social_edges(cfg, &mut |a, t| b.add_edge(a, t));
-    debug_assert_eq!(n, cfg.n_users);
-    b.build()
+    let cursor = Generator::social_cursor(cfg);
+    let n = cursor.n_users() as u32;
+    debug_assert_eq!(n as usize, cfg.n_users);
+    let segments = cursor.segments(fediscope_worldgen::shard::DEFAULT_BLOCK);
+    DiGraph::from_sorted_blocks(
+        n,
+        segments
+            .iter()
+            .map(|s| (s.start, s.offsets.as_slice(), s.targets.as_slice())),
+    )
 }
 
 /// Synthetic power-law follower graph for the removal-sweep benches,

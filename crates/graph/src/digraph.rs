@@ -116,6 +116,79 @@ impl DiGraph {
         b.build()
     }
 
+    /// Assemble a CSR graph from pre-sorted per-node adjacency blocks —
+    /// the sharded-worldgen ingest path. Each block covers a contiguous
+    /// node range starting at `start`; node `start + k`'s out-targets are
+    /// `targets[offsets[k] as usize..offsets[k + 1] as usize]` and must
+    /// already be **ascending, deduplicated, and self-free** (the
+    /// canonical per-user form the social cursor emits). Blocks must
+    /// arrive in node order and cover `0..n` exactly.
+    ///
+    /// Because [`GraphBuilder::build`] sorts edges lexicographically, its
+    /// out-CSR is exactly the concatenation of such blocks and its
+    /// in-CSR fill visits sources in ascending order — so this
+    /// constructor reproduces `build()`'s output bit-for-bit with no
+    /// global sort (differential-tested below and in the worldgen
+    /// sharding proptests).
+    pub fn from_sorted_blocks<'a>(
+        n: u32,
+        blocks: impl IntoIterator<Item = (u32, &'a [u32], &'a [u32])> + Clone,
+    ) -> Self {
+        let n = n as usize;
+        let mut out_offsets = Vec::with_capacity(n + 1);
+        out_offsets.push(0u32);
+        let mut m = 0usize;
+        for (start, offsets, targets) in blocks.clone() {
+            assert_eq!(
+                start as usize + 1,
+                out_offsets.len(),
+                "blocks out of order or non-contiguous"
+            );
+            debug_assert_eq!(*offsets.last().unwrap() as usize, targets.len());
+            let base = m as u32;
+            for w in offsets.windows(2) {
+                debug_assert!(w[0] <= w[1]);
+                out_offsets.push(base + w[1]);
+            }
+            m += targets.len();
+        }
+        assert_eq!(out_offsets.len(), n + 1, "blocks must cover every node");
+
+        let mut out_targets = Vec::with_capacity(m);
+        let mut in_offsets = vec![0u32; n + 1];
+        for (_, _, targets) in blocks.clone() {
+            for &t in targets {
+                debug_assert!((t as usize) < n, "target {t} out of range");
+                in_offsets[t as usize + 1] += 1;
+            }
+            out_targets.extend_from_slice(targets);
+        }
+        for i in 0..n {
+            in_offsets[i + 1] += in_offsets[i];
+        }
+        // Sources are visited in ascending order, so each target's source
+        // list comes out ascending — the same order build()'s
+        // lexicographic edge sort produces.
+        let mut in_sources = vec![0u32; m];
+        let mut cursor: Vec<u32> = in_offsets[..n].to_vec();
+        for (start, offsets, targets) in blocks {
+            for k in 0..offsets.len() - 1 {
+                let a = start + k as u32;
+                for &t in &targets[offsets[k] as usize..offsets[k + 1] as usize] {
+                    in_sources[cursor[t as usize] as usize] = a;
+                    cursor[t as usize] += 1;
+                }
+            }
+        }
+        DiGraph {
+            n: n as u32,
+            out_offsets,
+            out_targets,
+            in_offsets,
+            in_sources,
+        }
+    }
+
     /// Number of nodes.
     pub fn node_count(&self) -> usize {
         self.n as usize
@@ -190,6 +263,56 @@ mod tests {
         assert_eq!(g.out_degree(0), 2);
         assert_eq!(g.in_degree(0), 0);
         assert_eq!(g.degree(3), 2);
+    }
+
+    #[test]
+    fn sorted_blocks_match_builder_exactly() {
+        // Random sorted-unique per-node adjacency, split into blocks at
+        // several granularities: from_sorted_blocks must equal build().
+        let n = 97u32;
+        let mut s = 0x9e3779b97f4a7c15u64;
+        let mut adjacency: Vec<Vec<u32>> = Vec::new();
+        for v in 0..n {
+            let mut targets: Vec<u32> = Vec::new();
+            for _ in 0..(s % 7) {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let t = (s >> 33) as u32 % n;
+                if t != v {
+                    targets.push(t);
+                }
+            }
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            targets.sort_unstable();
+            targets.dedup();
+            adjacency.push(targets);
+        }
+        let reference = DiGraph::from_edges(
+            n,
+            adjacency
+                .iter()
+                .enumerate()
+                .flat_map(|(a, ts)| ts.iter().map(move |&t| (a as u32, t))),
+        );
+        for block in [1usize, 5, 32, 200] {
+            let mut blocks: Vec<(u32, Vec<u32>, Vec<u32>)> = Vec::new();
+            let mut lo = 0usize;
+            while lo < n as usize {
+                let hi = (lo + block).min(n as usize);
+                let mut offsets = vec![0u32];
+                let mut targets = Vec::new();
+                for adj in &adjacency[lo..hi] {
+                    targets.extend_from_slice(adj);
+                    offsets.push(targets.len() as u32);
+                }
+                blocks.push((lo as u32, offsets, targets));
+                lo = hi;
+            }
+            let g = DiGraph::from_sorted_blocks(
+                n,
+                blocks.iter().map(|(s, o, t)| (*s, o.as_slice(), t.as_slice())),
+            );
+            assert_eq!(g, reference, "block size {block}");
+        }
     }
 
     #[test]

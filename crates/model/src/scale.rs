@@ -21,11 +21,20 @@ pub enum ScaleTier {
     /// The modern Fediverse: ~30K instances (Xavier 2024) and a
     /// million-account follower graph.
     Modern,
+    /// The 2026 projection: ~100K instances and a ten-million-account
+    /// follower graph (~50M edges) — an order of magnitude past the
+    /// paper, per the post-2022 growth documented in arXiv:2408.15383.
+    Fediverse2026,
 }
 
 impl ScaleTier {
     /// Every tier, ascending by instance count (largest world last).
-    pub const ALL: [ScaleTier; 3] = [ScaleTier::Paper2019, ScaleTier::Mid, ScaleTier::Modern];
+    pub const ALL: [ScaleTier; 4] = [
+        ScaleTier::Paper2019,
+        ScaleTier::Mid,
+        ScaleTier::Modern,
+        ScaleTier::Fediverse2026,
+    ];
 
     /// Canonical lowercase name (stable: used in CLI flags and bench
     /// records).
@@ -34,6 +43,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => "paper2019",
             ScaleTier::Mid => "mid",
             ScaleTier::Modern => "modern",
+            ScaleTier::Fediverse2026 => "fediverse2026",
         }
     }
 
@@ -45,6 +55,7 @@ impl ScaleTier {
             "paper2019" | "paper-2019" | "paper" => Some(ScaleTier::Paper2019),
             "mid" => Some(ScaleTier::Mid),
             "modern" => Some(ScaleTier::Modern),
+            "fediverse2026" | "fediverse-2026" | "2026" => Some(ScaleTier::Fediverse2026),
             _ => None,
         }
     }
@@ -55,6 +66,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 4_328,
             ScaleTier::Mid => 12_000,
             ScaleTier::Modern => 30_000,
+            ScaleTier::Fediverse2026 => 100_000,
         }
     }
 
@@ -64,6 +76,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 853_000,
             ScaleTier::Mid => 250_000,
             ScaleTier::Modern => 1_000_000,
+            ScaleTier::Fediverse2026 => 10_000_000,
         }
     }
 
@@ -74,6 +87,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 351,
             ScaleTier::Mid => 520,
             ScaleTier::Modern => 900,
+            ScaleTier::Fediverse2026 => 2_000,
         }
     }
 
@@ -94,6 +108,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 30,
             ScaleTier::Mid => 40,
             ScaleTier::Modern => 50,
+            ScaleTier::Fediverse2026 => 60,
         }
     }
 
@@ -104,6 +119,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 8,
             ScaleTier::Mid => 8,
             ScaleTier::Modern => 4,
+            ScaleTier::Fediverse2026 => 2,
         }
     }
 
@@ -115,6 +131,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 30,
             ScaleTier::Mid => 80,
             ScaleTier::Modern => 200,
+            ScaleTier::Fediverse2026 => 400,
         }
     }
 
@@ -124,6 +141,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 10,
             ScaleTier::Mid => 15,
             ScaleTier::Modern => 20,
+            ScaleTier::Fediverse2026 => 25,
         }
     }
 
@@ -134,6 +152,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 25,
             ScaleTier::Mid => 60,
             ScaleTier::Modern => 150,
+            ScaleTier::Fediverse2026 => 300,
         }
     }
 
@@ -200,6 +219,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 10,
             ScaleTier::Mid => 15,
             ScaleTier::Modern => 20,
+            ScaleTier::Fediverse2026 => 25,
         }
     }
 
@@ -210,6 +230,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 8,
             ScaleTier::Mid => 12,
             ScaleTier::Modern => 16,
+            ScaleTier::Fediverse2026 => 20,
         }
     }
 
@@ -220,6 +241,7 @@ impl ScaleTier {
             ScaleTier::Paper2019 => 10,
             ScaleTier::Mid => 12,
             ScaleTier::Modern => 16,
+            ScaleTier::Fediverse2026 => 20,
         }
     }
 }
@@ -249,6 +271,8 @@ mod tests {
         assert!(ScaleTier::Mid.n_instances() > ScaleTier::Paper2019.n_instances());
         assert!(ScaleTier::Modern.n_instances() > ScaleTier::Mid.n_instances());
         assert!(ScaleTier::Modern.n_users() >= 1_000_000);
+        assert!(ScaleTier::Fediverse2026.n_instances() >= 100_000);
+        assert!(ScaleTier::Fediverse2026.n_users() >= 10_000_000);
         assert_eq!(ScaleTier::Paper2019.n_instances(), 4_328);
         assert_eq!(ScaleTier::Paper2019.n_users(), 853_000);
         // providers grow sublinearly relative to instances

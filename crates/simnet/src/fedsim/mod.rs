@@ -115,7 +115,7 @@ impl FedSimConfig {
             shards: 1,
             drain_epochs: 2 * fediscope_model::EPOCHS_PER_DAY,
             service_per_kuser: 100,
-            min_service: 2,
+            min_service: 6,
             backlog_ticks: 8,
             max_attempts: 8,
             backoff_base: 1,

@@ -127,17 +127,18 @@ impl WorldConfig {
         }
     }
 
-    /// Preset for a named [`ScaleTier`] (paper-2019 / mid / modern). The
-    /// calibrated *shape* constants stay fixed — only population counts
-    /// move, so per-tier analyses differ in scale, not in law. The Twitter
-    /// baseline is scaled down (1:15) to keep tier benchmarks focused on
-    /// the Mastodon graph.
+    /// Preset for a named [`ScaleTier`] (paper-2019 / mid / modern /
+    /// fediverse2026). The calibrated *shape* constants stay fixed — only
+    /// population counts move, so per-tier analyses differ in scale, not
+    /// in law. The Twitter baseline is scaled down (1:15, capped at the
+    /// paper-full 400K) to keep tier benchmarks focused on the Mastodon
+    /// graph.
     pub fn for_tier(tier: ScaleTier, seed: u64) -> Self {
         Self {
             n_instances: tier.n_instances(),
             n_users: tier.n_users(),
             n_providers: tier.n_providers(),
-            twitter_users: (tier.n_users() / 15).max(1_000),
+            twitter_users: (tier.n_users() / 15).clamp(1_000, 400_000),
             ..Self::base(seed)
         }
     }

@@ -42,6 +42,7 @@ pub mod growth;
 pub mod instances;
 pub mod observatory;
 pub mod pools;
+pub mod shard;
 pub mod social;
 pub mod streams;
 pub mod toots;
@@ -51,6 +52,8 @@ pub mod users;
 pub use config::{sub_seed, ScaleTier, WorldConfig};
 
 use fediscope_model::geo::ProviderCatalog;
+use fediscope_model::instance::Instance;
+use fediscope_model::user::UserProfile;
 use fediscope_model::world::World;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -71,6 +74,29 @@ impl Generator {
         Self::new(cfg).generate()
     }
 
+    /// Run the pipeline up to the user table (instances → users) — the
+    /// prerequisite state for the social stage. Returns `(instances,
+    /// users)` with per-instance aggregates already back-filled.
+    pub fn user_stage(cfg: &WorldConfig) -> (Vec<Instance>, Vec<UserProfile>) {
+        let providers = ProviderCatalog::with_tail(cfg.n_providers);
+        let mut r_inst = StdRng::seed_from_u64(sub_seed(cfg.seed, 1));
+        let stage = instances::generate(cfg, &providers, &mut r_inst);
+        let mut instances = stage.instances;
+        let users = users::generate(cfg, &mut instances, &stage.popularity);
+        (instances, users)
+    }
+
+    /// Build a seekable social-edge cursor: instance and user stages run
+    /// eagerly, then the returned [`social::SocialCursor`] can emit any
+    /// user's adjacency block independently (`emit_user` / `segment`)
+    /// without replaying the users before it — block `b` maps straight to
+    /// its counter-derived RNG offset. This is the resume-identity path:
+    /// a crash-recovered run re-emits exactly the blocks it needs.
+    pub fn social_cursor(cfg: &WorldConfig) -> social::SocialCursor {
+        let (instances, users) = Self::user_stage(cfg);
+        social::SocialCursor::new(cfg, &instances, &users)
+    }
+
     /// Run only the stages the follower graph needs (instances → users →
     /// social) and stream each follow edge into `sink` instead of
     /// materialising the edge list. Returns the number of user nodes.
@@ -79,17 +105,14 @@ impl Generator {
     /// uses, so the edge stream is bit-identical to the `follows` of a
     /// full world from the same config — this is the path large-scale
     /// benchmarks use to pipe a million-user graph straight into a CSR
-    /// builder without the ~100 MB intermediate `Vec`.
+    /// builder without the ~100 MB intermediate `Vec`. Callers that want
+    /// seekable access instead of a full replay should use
+    /// [`Self::social_cursor`].
     pub fn stream_social_edges(cfg: &WorldConfig, sink: &mut dyn FnMut(u32, u32)) -> usize {
-        let providers = ProviderCatalog::with_tail(cfg.n_providers);
-        let mut r_inst = StdRng::seed_from_u64(sub_seed(cfg.seed, 1));
-        let stage = instances::generate(cfg, &providers, &mut r_inst);
-        let mut instances = stage.instances;
-        let mut r_users = StdRng::seed_from_u64(sub_seed(cfg.seed, 2));
-        let users = users::generate(cfg, &mut instances, &stage.popularity, &mut r_users);
-        let mut r_social = StdRng::seed_from_u64(sub_seed(cfg.seed, 3));
-        social::generate_with(cfg, &instances, &users, &mut r_social, sink);
-        users.len()
+        let cursor = Self::social_cursor(cfg);
+        let n = cursor.n_users();
+        cursor.stream(shard::DEFAULT_BLOCK, sink);
+        n
     }
 
     /// Run the full pipeline and validate the result.
@@ -101,14 +124,11 @@ impl Generator {
         let stage = instances::generate(cfg, &providers, &mut r_inst);
         let mut instances = stage.instances;
 
-        let mut r_users = StdRng::seed_from_u64(sub_seed(cfg.seed, 2));
-        let users = users::generate(cfg, &mut instances, &stage.popularity, &mut r_users);
+        let users = users::generate(cfg, &mut instances, &stage.popularity);
 
-        let mut r_social = StdRng::seed_from_u64(sub_seed(cfg.seed, 3));
-        let follows = social::generate(cfg, &instances, &users, &mut r_social);
+        let follows = social::generate(cfg, &instances, &users);
 
-        let mut r_avail = StdRng::seed_from_u64(sub_seed(cfg.seed, 4));
-        let schedules = availability::generate(cfg, &mut instances, &mut r_avail);
+        let schedules = availability::generate(cfg, &mut instances);
 
         let total_toots: u64 = users.iter().map(|u| u.toot_count as u64).sum();
         let growth = growth::series(&schedules, users.len() as u64, total_toots);

@@ -1,23 +1,24 @@
-//! Flat attachment-pool storage for the preferential-attachment generator.
+//! Flat membership lists and Walker alias tables for the static
+//! fitness-attachment social generator.
 //!
 //! At modern-Fediverse scale (30K instances, 1M+ accounts, ~10M follow
-//! edges) the social generator's per-instance and per-country attachment
-//! pools dominate memory traffic. `Vec<Vec<u32>>` puts every domain's pool
-//! in its own allocation (tens of thousands of independently growing
-//! vectors); the structures here keep everything in a handful of flat
-//! arrays:
+//! edges) the social generator's per-domain candidate sets dominate
+//! memory traffic, and its samplers dominate time. Everything here lives
+//! in a handful of flat arrays:
 //!
 //! - [`Membership`]: CSR-style *static* member lists (offsets + one flat
 //!   member array), built once from counting passes.
-//! - [`SegmentedPools`]: *growing* per-domain pools stored in one shared
-//!   arena. Each domain owns a geometric series of segments (8, 16, 32, …
-//!   slots) whose arena offsets live in one flat directory, so `push` and
-//!   uniform random `get` are O(1) with two array reads and growth never
-//!   moves existing elements.
+//! - [`AliasSampler`] / [`AliasFamily`]: Walker alias tables packed as
+//!   12-byte entries, one per candidate, giving O(1) weighted sampling
+//!   from a **single `u64` draw** — the bucket comes from the high 32
+//!   bits (a Lemire reduction), acceptance from an integer compare of
+//!   the low 32 bits against a fixed-point probability. No floats, no
+//!   rejection loop, at most one cache line per sample.
 //!
-//! Both preserve pool contents and ordering exactly, so swapping them in
-//! for `Vec<Vec<u32>>` leaves the generator's RNG-driven output
-//! bit-identical.
+//! The tables are immutable after construction, which is what makes the
+//! sharded generator possible: every shard samples from the same frozen
+//! tables with its own counter-derived RNG stream, so output is
+//! independent of the partition.
 
 /// CSR-style static membership lists: `domain -> &[u32]` built once.
 #[derive(Debug, Clone)]
@@ -60,90 +61,219 @@ impl Membership {
     }
 }
 
-/// First-segment capacity (must be a power of two; segment `s` holds
-/// `SEG0 << s` slots, so a domain's capacity doubles with each new
-/// segment).
-const SEG0: u32 = 8;
-/// Segments per domain in the flat directory. Capacity with 28 segments is
-/// `8·(2^28 − 1)` ≈ 2.1B elements per domain — beyond any u32-indexed
-/// arena.
-const SEGS: usize = 28;
-
-/// Growing per-domain `u32` pools in one shared arena.
-///
-/// The directory row for a domain holds the arena offset of each of its
-/// segments; index `i` lives in segment `⌊log2(i/SEG0 + 1)⌋` at offset
-/// `i − (SEG0·2^seg − SEG0)`, both O(1) bit operations.
-#[derive(Debug, Clone)]
-pub struct SegmentedPools {
-    arena: Vec<u32>,
-    dir: Vec<u32>,
-    len: Vec<u32>,
+/// One packed alias slot: accept `accept` if the low 32 draw bits fall
+/// under `prob` (fixed-point in [0, 1]), else `alias`. Opaque outside
+/// this module — callers hold `&[AliasSlot]` slices (via
+/// [`AliasSampler::slots`] / [`AliasFamily::domain_slots`]) and sample
+/// them with [`sample_slice`], which lets a hot loop pick its table by
+/// *index* instead of re-branching through a sampler enum per draw.
+#[derive(Debug, Clone, Copy)]
+pub struct AliasSlot {
+    prob: u32,
+    accept: u32,
+    alias: u32,
 }
 
-impl SegmentedPools {
-    /// `n_domains` empty pools.
-    pub fn new(n_domains: usize) -> Self {
-        Self {
-            arena: Vec::new(),
-            dir: vec![0; n_domains * SEGS],
-            len: vec![0; n_domains],
+/// Vose/Walker alias-table construction over `weights`, emitting one
+/// slot per entry with `ids[i]` as the accepted value. Deterministic:
+/// the small/large worklists are filled in index order and popped from
+/// the back.
+fn build_slots(ids: &[u32], weights: &[f64], out: &mut Vec<AliasSlot>) {
+    let n = ids.len();
+    debug_assert_eq!(n, weights.len());
+    if n == 0 {
+        return;
+    }
+    let total: f64 = weights.iter().sum();
+    let base = out.len();
+    out.reserve(n);
+    // Degenerate mass: fall back to uniform.
+    let scale = if total > 0.0 { n as f64 / total } else { 0.0 };
+    let mut scaled: Vec<f64> = weights
+        .iter()
+        .map(|&w| if total > 0.0 { w * scale } else { 1.0 })
+        .collect();
+    let mut small: Vec<u32> = Vec::new();
+    let mut large: Vec<u32> = Vec::new();
+    for (i, &p) in scaled.iter().enumerate() {
+        if p < 1.0 {
+            small.push(i as u32);
+        } else {
+            large.push(i as u32);
         }
     }
-
-    /// Segment index and in-segment offset of logical index `i`.
-    #[inline]
-    fn locate(i: u32) -> (usize, u32) {
-        let t = i / SEG0 + 1;
-        let seg = (31 - t.leading_zeros()) as usize;
-        let seg_start = (SEG0 << seg) - SEG0;
-        (seg, i - seg_start)
-    }
-
-    /// Number of elements in `domain`'s pool.
-    #[inline]
-    pub fn len(&self, domain: usize) -> usize {
-        self.len[domain] as usize
-    }
-
-    /// Whether `domain`'s pool is empty.
-    #[inline]
-    pub fn is_empty(&self, domain: usize) -> bool {
-        self.len[domain] == 0
-    }
-
-    /// The `i`-th element ever pushed to `domain` (0-based).
-    #[inline]
-    pub fn get(&self, domain: usize, i: usize) -> u32 {
-        debug_assert!(i < self.len(domain));
-        let (seg, off) = Self::locate(i as u32);
-        self.arena[(self.dir[domain * SEGS + seg] + off) as usize]
-    }
-
-    /// Append `value` to `domain`'s pool.
-    #[inline]
-    pub fn push(&mut self, domain: usize, value: u32) {
-        let i = self.len[domain];
-        let (seg, off) = Self::locate(i);
-        if off == 0 {
-            // First element of a fresh segment: claim it at the arena end.
-            let base = self.arena.len() as u32;
-            self.dir[domain * SEGS + seg] = base;
-            self.arena.resize(self.arena.len() + (SEG0 << seg) as usize, 0);
+    out.resize(
+        base + n,
+        AliasSlot {
+            prob: u32::MAX,
+            accept: 0,
+            alias: 0,
+        },
+    );
+    while let Some(&l) = large.last() {
+        let Some(s) = small.pop() else { break };
+        let p = scaled[s as usize];
+        out[base + s as usize] = AliasSlot {
+            prob: (p * 4_294_967_296.0) as u32,
+            accept: ids[s as usize],
+            alias: ids[l as usize],
+        };
+        let rem = scaled[l as usize] - (1.0 - p);
+        scaled[l as usize] = rem;
+        if rem < 1.0 {
+            large.pop();
+            small.push(l);
         }
-        self.arena[(self.dir[domain * SEGS + seg] + off) as usize] = value;
-        self.len[domain] = i + 1;
+    }
+    // Leftovers (either list) saturate: always accept.
+    for &i in small.iter().chain(large.iter()) {
+        out[base + i as usize] = AliasSlot {
+            prob: u32::MAX,
+            accept: ids[i as usize],
+            alias: ids[i as usize],
+        };
+    }
+}
+
+/// Touch the cache line holding the slot `r` selects. The bucket
+/// arithmetic mirrors [`sample_slots`] exactly, so a caller that batches
+/// draws can issue the table touches up front as *independent* loads —
+/// the out-of-order core overlaps the L2/L3 misses instead of paying one
+/// serialized miss per accept/reject resolution. `black_box` keeps the
+/// otherwise-dead load; the crate forbids `unsafe`, so this is the
+/// portable stand-in for a prefetch intrinsic.
+#[inline]
+fn prefetch_slot(slots: &[AliasSlot], r: u64) {
+    let n = slots.len() as u64;
+    let bucket = ((r >> 32) * n) >> 32;
+    std::hint::black_box(slots[bucket as usize].prob);
+}
+
+#[inline]
+fn sample_slots(slots: &[AliasSlot], r: u64) -> u32 {
+    let n = slots.len() as u64;
+    let bucket = ((r >> 32) * n) >> 32;
+    let slot = slots[bucket as usize];
+    if (r as u32) < slot.prob {
+        slot.accept
+    } else {
+        slot.alias
+    }
+}
+
+/// Sample a raw slot slice from one uniform `u64`. Panics on an empty
+/// slice — callers that can see empty domains must check first.
+#[inline]
+pub fn sample_slice(slots: &[AliasSlot], r: u64) -> u32 {
+    sample_slots(slots, r)
+}
+
+/// Touch the slot a later [`sample_slice`] with the same `(slots, r)`
+/// will read; a no-op on an empty slice.
+#[inline]
+pub fn touch_slice(slots: &[AliasSlot], r: u64) {
+    if !slots.is_empty() {
+        prefetch_slot(slots, r);
+    }
+}
+
+/// A single frozen weighted sampler over an id set.
+#[derive(Debug, Clone)]
+pub struct AliasSampler {
+    slots: Vec<AliasSlot>,
+}
+
+impl AliasSampler {
+    /// Weighted sampler returning `ids[i]` with probability proportional
+    /// to `weights[i]`. Zero total weight degrades to uniform.
+    pub fn from_weighted_ids(ids: &[u32], weights: &[f64]) -> Self {
+        let mut slots = Vec::new();
+        build_slots(ids, weights, &mut slots);
+        Self { slots }
     }
 
-    /// Total elements across all domains (arena slack excluded).
-    pub fn total(&self) -> usize {
-        self.len.iter().map(|&l| l as usize).sum()
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the candidate set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Sample from one uniform `u64`. Panics (debug) on an empty table.
+    #[inline]
+    pub fn sample_u64(&self, r: u64) -> u32 {
+        sample_slots(&self.slots, r)
+    }
+
+    /// The raw slot table, for callers that batch draws over a fixed
+    /// table set via [`sample_slice`].
+    #[inline]
+    pub fn slots(&self) -> &[AliasSlot] {
+        &self.slots
+    }
+}
+
+/// A CSR family of alias tables: one frozen weighted sampler per domain
+/// (instance, country), all slots in a single flat allocation.
+#[derive(Debug, Clone)]
+pub struct AliasFamily {
+    offsets: Vec<u32>,
+    slots: Vec<AliasSlot>,
+}
+
+impl AliasFamily {
+    /// One alias table per [`Membership`] domain, weighting member `m`
+    /// by `weight_of(m)`.
+    pub fn build(members: &Membership, n_domains: usize, weight_of: impl Fn(u32) -> f64) -> Self {
+        let mut offsets = Vec::with_capacity(n_domains + 1);
+        let mut slots = Vec::with_capacity(members.total());
+        let mut weights: Vec<f64> = Vec::new();
+        offsets.push(0);
+        for d in 0..n_domains {
+            let ids = members.domain(d);
+            weights.clear();
+            weights.extend(ids.iter().map(|&m| weight_of(m)));
+            build_slots(ids, &weights, &mut slots);
+            offsets.push(slots.len() as u32);
+        }
+        Self { offsets, slots }
+    }
+
+    /// Number of candidates in `domain`.
+    #[inline]
+    pub fn domain_len(&self, domain: usize) -> usize {
+        (self.offsets[domain + 1] - self.offsets[domain]) as usize
+    }
+
+    /// Sample `domain` from one uniform `u64`; `None` if the domain has
+    /// no candidates.
+    #[inline]
+    pub fn sample_u64(&self, domain: usize, r: u64) -> Option<u32> {
+        let lo = self.offsets[domain] as usize;
+        let hi = self.offsets[domain + 1] as usize;
+        if lo == hi {
+            return None;
+        }
+        Some(sample_slots(&self.slots[lo..hi], r))
+    }
+
+    /// `domain`'s raw slot table (possibly empty), for callers that
+    /// batch draws over a fixed table set via [`sample_slice`].
+    #[inline]
+    pub fn domain_slots(&self, domain: usize) -> &[AliasSlot] {
+        let lo = self.offsets[domain] as usize;
+        let hi = self.offsets[domain + 1] as usize;
+        &self.slots[lo..hi]
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn membership_matches_vec_of_vecs() {
@@ -157,55 +287,61 @@ mod tests {
     }
 
     #[test]
-    fn locate_segments_partition_indices() {
-        // indices 0..8 -> seg 0, 8..24 -> seg 1, 24..56 -> seg 2, …
-        assert_eq!(SegmentedPools::locate(0), (0, 0));
-        assert_eq!(SegmentedPools::locate(7), (0, 7));
-        assert_eq!(SegmentedPools::locate(8), (1, 0));
-        assert_eq!(SegmentedPools::locate(23), (1, 15));
-        assert_eq!(SegmentedPools::locate(24), (2, 0));
-        assert_eq!(SegmentedPools::locate(55), (2, 31));
-        assert_eq!(SegmentedPools::locate(56), (3, 0));
-    }
-
-    #[test]
-    fn push_get_round_trip_single_domain() {
-        let mut p = SegmentedPools::new(1);
-        for v in 0..1000u32 {
-            p.push(0, v * 7);
+    fn alias_sampler_tracks_weights() {
+        let ids = [7u32, 8, 9];
+        let weights = [1.0, 2.0, 7.0];
+        let a = AliasSampler::from_weighted_ids(&ids, &weights);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let mut counts = [0u32; 3];
+        const N: u32 = 200_000;
+        for _ in 0..N {
+            let v = a.sample_u64(rng.r#gen());
+            counts[(v - 7) as usize] += 1;
         }
-        assert_eq!(p.len(0), 1000);
-        for i in 0..1000usize {
-            assert_eq!(p.get(0, i), i as u32 * 7);
+        for (i, &w) in weights.iter().enumerate() {
+            let expect = w / 10.0;
+            let got = counts[i] as f64 / N as f64;
+            assert!(
+                (got - expect).abs() < 0.01,
+                "id {i}: got {got}, expect {expect}"
+            );
         }
     }
 
     #[test]
-    fn interleaved_domains_stay_separate() {
-        let mut p = SegmentedPools::new(3);
-        let mut model: Vec<Vec<u32>> = vec![Vec::new(); 3];
-        // deterministic interleaving across domains
-        let mut s = 0x9e3779b97f4a7c15u64;
-        for step in 0..5000u32 {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
-            let d = (s >> 33) as usize % 3;
-            p.push(d, step);
-            model[d].push(step);
-        }
-        for (d, expected) in model.iter().enumerate() {
-            assert_eq!(p.len(d), expected.len());
-            for (i, &v) in expected.iter().enumerate() {
-                assert_eq!(p.get(d, i), v, "domain {d} index {i}");
+    fn alias_sampler_uniform_on_zero_mass() {
+        let a = AliasSampler::from_weighted_ids(&[1, 2], &[0.0, 0.0]);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let mut ones = 0u32;
+        for _ in 0..10_000 {
+            if a.sample_u64(rng.r#gen()) == 1 {
+                ones += 1;
             }
         }
-        assert_eq!(p.total(), 5000);
-        assert!(p.is_empty(0) == model[0].is_empty());
+        assert!((2_000..8_000).contains(&ones));
     }
 
     #[test]
-    fn empty_pools_report_empty() {
-        let p = SegmentedPools::new(2);
-        assert!(p.is_empty(0) && p.is_empty(1));
-        assert_eq!(p.total(), 0);
+    fn alias_family_respects_domains() {
+        let pairs = [(0u32, 5u32), (0, 6), (2, 9)];
+        let m = Membership::new(3, pairs.iter().copied());
+        let fam = AliasFamily::build(&m, 3, |_| 1.0);
+        assert_eq!(fam.domain_len(0), 2);
+        assert_eq!(fam.domain_len(1), 0);
+        assert_eq!(fam.sample_u64(1, 12345), None);
+        assert_eq!(fam.sample_u64(2, 12345), Some(9));
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = fam.sample_u64(0, rng.r#gen()).unwrap();
+            assert!(v == 5 || v == 6);
+        }
+    }
+
+    #[test]
+    fn single_entry_table_always_accepts() {
+        let a = AliasSampler::from_weighted_ids(&[42], &[3.5]);
+        for r in [0u64, u64::MAX, 1 << 33] {
+            assert_eq!(a.sample_u64(r), 42);
+        }
     }
 }

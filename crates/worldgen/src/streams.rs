@@ -38,23 +38,49 @@ pub fn rebirth_days(
     seed: u64,
     rebirth_frac: f64,
 ) -> Vec<Option<Day>> {
-    let frac = rebirth_frac.clamp(0.0, 1.0);
-    schedules
-        .iter()
-        .enumerate()
-        .map(|(i, sch)| {
-            let retired = sch.retired?;
-            if retired.0 + 1 >= WINDOW_DAYS {
-                return None;
-            }
-            let mut rng = StdRng::seed_from_u64(sub_seed(seed, REBIRTH_STREAM ^ i as u64));
-            if !rng.gen_bool(frac) {
-                return None;
-            }
-            Some(Day(rng.gen_range(retired.0 + 1..WINDOW_DAYS)))
-        })
-        .collect()
+    rebirth_days_with_block(schedules, seed, rebirth_frac, crate::shard::INSTANCE_BLOCK)
 }
+
+/// [`rebirth_days`] with an explicit block size, fanned out over
+/// [`fediscope_graph::par::parallel_map`]. The keyed per-instance draws
+/// make any partition bit-identical to the serial walk.
+pub fn rebirth_days_with_block(
+    schedules: &[AvailabilitySchedule],
+    seed: u64,
+    rebirth_frac: f64,
+    block: usize,
+) -> Vec<Option<Day>> {
+    let frac = rebirth_frac.clamp(0.0, 1.0);
+    let segments = fediscope_graph::par::parallel_map(
+        &crate::shard::blocks(schedules.len(), block),
+        |&(lo, hi)| {
+            schedules[lo..hi]
+                .iter()
+                .enumerate()
+                .map(|(k, sch)| rebirth_one(sch, seed, frac, lo + k))
+                .collect::<Vec<_>>()
+        },
+    );
+    segments.into_iter().flatten().collect()
+}
+
+fn rebirth_one(
+    sch: &AvailabilitySchedule,
+    seed: u64,
+    frac: f64,
+    i: usize,
+) -> Option<Day> {
+    let retired = sch.retired?;
+    if retired.0 + 1 >= WINDOW_DAYS {
+        return None;
+    }
+    let mut rng = StdRng::seed_from_u64(sub_seed(seed, REBIRTH_STREAM ^ i as u64));
+    if !rng.gen_bool(frac) {
+        return None;
+    }
+    Some(Day(rng.gen_range(retired.0 + 1..WINDOW_DAYS)))
+}
+
 
 #[cfg(test)]
 mod tests {
@@ -100,6 +126,15 @@ mod tests {
             .filter(|s| s.retired.is_some_and(|r| r.0 + 1 < WINDOW_DAYS))
             .count();
         assert_eq!(all.iter().filter(|r| r.is_some()).count(), eligible);
+    }
+
+    #[test]
+    fn block_size_is_unobservable() {
+        let scheds = schedules(13);
+        let a = rebirth_days_with_block(&scheds, 42, 0.5, 1);
+        let b = rebirth_days_with_block(&scheds, 42, 0.5, 17);
+        assert_eq!(a, b);
+        assert_eq!(a, rebirth_days(&scheds, 42, 0.5));
     }
 
     #[test]

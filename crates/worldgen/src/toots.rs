@@ -41,25 +41,45 @@ fn user_rng(stage_seed: u64, user: u32) -> StdRng {
 /// horizon (the paper gives no intra-day shape; uniformity keeps the
 /// per-tick load interpretable as the mean rate).
 pub fn generate(cfg: &WorldConfig, users: &[UserProfile], horizon: u32, rate_scale: f64) -> TootArena {
+    generate_with_block(cfg, users, horizon, rate_scale, crate::shard::DEFAULT_BLOCK)
+}
+
+/// [`generate`] with an explicit user-block size: each block's events are
+/// drawn independently from the per-user streams and concatenated. The
+/// arena canonicalises per-tick author order, so output is bit-identical
+/// at any block size (the sharding proptests pin this).
+pub fn generate_with_block(
+    cfg: &WorldConfig,
+    users: &[UserProfile],
+    horizon: u32,
+    rate_scale: f64,
+    block: usize,
+) -> TootArena {
     assert!(horizon > 0, "toot horizon must be positive");
     let stage_seed = sub_seed(cfg.seed, TOOT_STAGE);
     let per_tick = rate_scale * horizon as f64 / WINDOW_EPOCHS as f64;
-    let mut events: Vec<(u32, u32)> = Vec::new();
-    for u in users {
-        if u.toot_count == 0 {
-            continue;
-        }
-        let expect = u.toot_count as f64 * per_tick;
-        let mut rng = user_rng(stage_seed, u.id.0);
-        let mut count = expect.floor() as u64;
-        if rng.gen_bool(expect.fract()) {
-            count += 1;
-        }
-        for _ in 0..count {
-            events.push((rng.gen_range(0..horizon), u.id.0));
-        }
-    }
-    TootArena::from_events(horizon, events)
+    let segments = fediscope_graph::par::parallel_map(
+        &crate::shard::blocks(users.len(), block),
+        |&(lo, hi)| {
+            let mut events: Vec<(u32, u32)> = Vec::new();
+            for u in &users[lo..hi] {
+                if u.toot_count == 0 {
+                    continue;
+                }
+                let expect = u.toot_count as f64 * per_tick;
+                let mut rng = user_rng(stage_seed, u.id.0);
+                let mut count = expect.floor() as u64;
+                if rng.gen_bool(expect.fract()) {
+                    count += 1;
+                }
+                for _ in 0..count {
+                    events.push((rng.gen_range(0..horizon), u.id.0));
+                }
+            }
+            events
+        },
+    );
+    TootArena::from_events(horizon, segments.into_iter().flatten())
 }
 
 /// Tier-knob convenience: horizon and rate scale from [`ScaleTier`].

@@ -1,12 +1,27 @@
 //! User population generation: placement, toot counts, activity levels.
+//!
+//! Sharded (PR 10): every user draws from its own counter-derived RNG
+//! stream ([`crate::shard::unit_rng`]), so the population can be built
+//! in independent per-block segments and concatenated — bit-identical
+//! to the serial walk at any block size. Instance placement samples a
+//! frozen Walker alias table over the popularity law instead of a
+//! cumulative binary search. The per-instance aggregate back-fill is a
+//! serial pass over the concatenated population (f64 sums are
+//! order-sensitive, so they must never happen inside a shard).
 
-use crate::config::WorldConfig;
+use crate::config::{sub_seed, WorldConfig};
+use crate::pools::AliasSampler;
+use crate::shard::{blocks, unit_rng, DEFAULT_BLOCK};
+use fediscope_graph::par;
 use fediscope_model::ids::{InstanceId, UserId};
 use fediscope_model::instance::Instance;
 use fediscope_model::taxonomy::{Activity, Category};
 use fediscope_model::user::UserProfile;
 use rand::prelude::*;
 use rand_distr::{Beta, Distribution, LogNormal};
+
+/// RNG stream tag for the per-instance aggregate back-fill draws.
+const AGG_TAG: u64 = 0x5553_4552_4147_4700; // "USERAGG"
 
 /// Toot-production multiplier for an instance, from its categories and
 /// policies. Calibrated to Fig. 3's instance-vs-toot contrasts: games
@@ -37,98 +52,124 @@ pub fn toot_multiplier(inst: &Instance) -> f64 {
     m
 }
 
-/// Cumulative-weight sampler over instances.
-struct CumSampler {
-    cum: Vec<f64>,
+/// The frozen per-user draw context shared by every shard.
+struct UserDraws {
+    stage_seed: u64,
+    n_instances: usize,
+    placement: AliasSampler,
+    tooting_frac: f64,
+    ln_open: LogNormal,
+    ln_closed: LogNormal,
+    beta_open: Beta,
+    beta_closed: Beta,
+    open: Vec<bool>,
+    multiplier: Vec<f64>,
 }
 
-impl CumSampler {
-    fn new(weights: &[f64]) -> Self {
-        let mut cum = Vec::with_capacity(weights.len());
-        let mut acc = 0.0;
-        for &w in weights {
-            acc += w.max(0.0);
-            cum.push(acc);
+impl UserDraws {
+    fn new(cfg: &WorldConfig, instances: &[Instance], popularity: &[f64]) -> Self {
+        // Toot-count distribution: log-normal tail over *tooting* users,
+        // with a per-instance-type mean. sigma 1.6 keeps Fig. 2(a)'s heavy
+        // tail (top users reach ~10^6 toots at full scale once the
+        // category multipliers stack) while keeping the open-vs-closed
+        // per-capita contrast resolvable in small worlds — at sigma 2 the
+        // group means are dominated by single draws and the Fig. 2
+        // orderings become seed lotteries.
+        let sigma = 1.6f64;
+        let mean_factor = (sigma * sigma / 2.0).exp();
+        let mk_lognormal = |mean_target: f64| {
+            let mu = (mean_target / mean_factor).ln();
+            LogNormal::new(mu, sigma).expect("valid lognormal")
+        };
+        // mean toots per *user*; tooting users carry the whole mass.
+        let open_mean_tooting = cfg.toots_per_user_open / cfg.tooting_frac;
+        let closed_mean_tooting = cfg.toots_per_user_closed / cfg.tooting_frac;
+        let ids: Vec<u32> = (0..instances.len() as u32).collect();
+        Self {
+            stage_seed: sub_seed(cfg.seed, 2),
+            n_instances: instances.len(),
+            placement: AliasSampler::from_weighted_ids(&ids, popularity),
+            tooting_frac: cfg.tooting_frac,
+            ln_open: mk_lognormal(open_mean_tooting),
+            ln_closed: mk_lognormal(closed_mean_tooting),
+            // Weekly-login propensity: closed instances have the more
+            // engaged population (median activity 75% vs 50%, Fig. 2c).
+            beta_open: Beta::new(2.2, 2.2).unwrap(),
+            beta_closed: Beta::new(5.0, 1.8).unwrap(),
+            open: instances.iter().map(|i| i.is_open()).collect(),
+            multiplier: instances.iter().map(toot_multiplier).collect(),
         }
-        assert!(acc > 0.0, "all-zero weights");
-        Self { cum }
     }
 
-    fn sample<R: Rng>(&self, rng: &mut R) -> usize {
-        let total = *self.cum.last().unwrap();
-        let x = rng.gen::<f64>() * total;
-        self.cum.partition_point(|&c| c < x).min(self.cum.len() - 1)
+    fn draw(&self, uid: usize) -> UserProfile {
+        let mut rng = unit_rng(self.stage_seed, uid as u64);
+        // Every instance starts with its administrator's account (user ids
+        // 0..n_instances are the admins); the rest follow the popularity
+        // law. This guarantees no instance is a zero-user ghost, matching
+        // the federation graph's 92%-of-instances LCC (Fig. 13).
+        let ii = if uid < self.n_instances {
+            uid
+        } else {
+            self.placement.sample_u64(rng.r#gen()) as usize
+        };
+        let open = self.open[ii];
+        let toots = if rng.gen_bool(self.tooting_frac) {
+            let base = if open {
+                self.ln_open.sample(&mut rng)
+            } else {
+                self.ln_closed.sample(&mut rng)
+            };
+            let boosted = base * self.multiplier[ii];
+            boosted.round().clamp(1.0, 20_000_000.0) as u32
+        } else {
+            0
+        };
+        let login: f64 = if open {
+            self.beta_open.sample(&mut rng)
+        } else {
+            self.beta_closed.sample(&mut rng)
+        };
+        UserProfile {
+            id: UserId(uid as u32),
+            instance: InstanceId(ii as u32),
+            toot_count: toots,
+            weekly_login_prob: login as f32,
+        }
     }
 }
 
 /// Generate users, assign them to instances, and back-fill the per-instance
 /// aggregates (`user_count`, `toot_count`, `boosted_toots`,
-/// `active_user_pct`).
-pub fn generate<R: Rng>(
+/// `active_user_pct`). Fans out over [`par::parallel_map`] in
+/// [`DEFAULT_BLOCK`]-user segments.
+pub fn generate(
     cfg: &WorldConfig,
     instances: &mut [Instance],
     popularity: &[f64],
-    rng: &mut R,
+) -> Vec<UserProfile> {
+    generate_with_block(cfg, instances, popularity, DEFAULT_BLOCK)
+}
+
+/// [`generate`] with an explicit block size — output is bit-identical
+/// for every block size (the sharding proptests pin this).
+pub fn generate_with_block(
+    cfg: &WorldConfig,
+    instances: &mut [Instance],
+    popularity: &[f64],
+    block: usize,
 ) -> Vec<UserProfile> {
     assert_eq!(instances.len(), popularity.len());
-    let sampler = CumSampler::new(popularity);
-
-    // Toot-count distribution: log-normal tail over *tooting* users, with a
-    // per-instance-type mean. sigma 2.0 gives the heavy tail Fig. 2(a) shows.
-    let sigma = 2.0f64;
-    let mean_factor = (sigma * sigma / 2.0).exp();
-    let mk_lognormal = |mean_target: f64| {
-        let mu = (mean_target / mean_factor).ln();
-        LogNormal::new(mu, sigma).expect("valid lognormal")
-    };
-    // mean toots per *user*; tooting users carry the whole mass.
-    let open_mean_tooting = cfg.toots_per_user_open / cfg.tooting_frac;
-    let closed_mean_tooting = cfg.toots_per_user_closed / cfg.tooting_frac;
-    let ln_open = mk_lognormal(open_mean_tooting);
-    let ln_closed = mk_lognormal(closed_mean_tooting);
-
-    // Weekly-login propensity: closed instances have the more engaged
-    // population (median activity 75% vs 50%, Fig. 2c).
-    let beta_open = Beta::new(2.2, 2.2).unwrap();
-    let beta_closed = Beta::new(5.0, 1.8).unwrap();
-
+    let draws = UserDraws::new(cfg, instances, popularity);
+    let segments = par::parallel_map(&blocks(cfg.n_users, block), |&(lo, hi)| {
+        (lo..hi).map(|uid| draws.draw(uid)).collect::<Vec<_>>()
+    });
     let mut users = Vec::with_capacity(cfg.n_users);
-    for uid in 0..cfg.n_users {
-        // Every instance starts with its administrator's account (user ids
-        // 0..n_instances are the admins); the rest follow the popularity
-        // law. This guarantees no instance is a zero-user ghost, matching
-        // the federation graph's 92%-of-instances LCC (Fig. 13).
-        let ii = if uid < instances.len() {
-            uid
-        } else {
-            sampler.sample(rng)
-        };
-        let inst = &instances[ii];
-        let toots = if rng.gen_bool(cfg.tooting_frac) {
-            let base = if inst.is_open() {
-                ln_open.sample(rng)
-            } else {
-                ln_closed.sample(rng)
-            };
-            let boosted = base * toot_multiplier(inst);
-            boosted.round().clamp(1.0, 20_000_000.0) as u32
-        } else {
-            0
-        };
-        let login: f64 = if inst.is_open() {
-            beta_open.sample(rng)
-        } else {
-            beta_closed.sample(rng)
-        };
-        users.push(UserProfile {
-            id: UserId(uid as u32),
-            instance: InstanceId(ii as u32),
-            toot_count: toots,
-            weekly_login_prob: login as f32,
-        });
+    for seg in segments {
+        users.extend(seg);
     }
 
-    // Back-fill instance aggregates.
+    // Back-fill instance aggregates: a serial pass over the concatenated
+    // population, so the f64 sums see one fixed order.
     let mut user_count = vec![0u32; instances.len()];
     let mut toot_count = vec![0u64; instances.len()];
     let mut login_sum = vec![0.0f64; instances.len()];
@@ -138,7 +179,9 @@ pub fn generate<R: Rng>(
         toot_count[i] += u.toot_count as u64;
         login_sum[i] += u.weekly_login_prob as f64;
     }
+    let agg_seed = sub_seed(cfg.seed, 2) ^ AGG_TAG;
     for (i, inst) in instances.iter_mut().enumerate() {
+        let mut rng = unit_rng(agg_seed, i as u64);
         inst.user_count = user_count[i];
         inst.toot_count = toot_count[i];
         inst.boosted_toots =
@@ -170,8 +213,7 @@ mod tests {
         let mut rng1 = StdRng::seed_from_u64(sub_seed(seed, 1));
         let stage = crate::instances::generate(&cfg, &providers, &mut rng1);
         let mut instances = stage.instances;
-        let mut rng2 = StdRng::seed_from_u64(sub_seed(seed, 2));
-        let users = generate(&cfg, &mut instances, &stage.popularity, &mut rng2);
+        let users = generate(&cfg, &mut instances, &stage.popularity);
         (instances, users)
     }
 
@@ -189,6 +231,21 @@ mod tests {
             assert_eq!(inst.toot_count, tc[i]);
             assert!(inst.boosted_toots <= inst.toot_count.max(1) / 2 + inst.toot_count / 3 + 1);
         }
+    }
+
+    #[test]
+    fn block_size_does_not_change_population() {
+        let mut cfg = WorldConfig::tiny(23);
+        cfg.n_users = 2_500;
+        let providers = ProviderCatalog::with_tail(cfg.n_providers);
+        let mut rng1 = StdRng::seed_from_u64(sub_seed(23, 1));
+        let stage = crate::instances::generate(&cfg, &providers, &mut rng1);
+        let mut inst_a = stage.instances.clone();
+        let mut inst_b = stage.instances.clone();
+        let a = generate_with_block(&cfg, &mut inst_a, &stage.popularity, 1);
+        let b = generate_with_block(&cfg, &mut inst_b, &stage.popularity, 997);
+        assert_eq!(a, b);
+        assert_eq!(inst_a, inst_b);
     }
 
     #[test]
@@ -263,24 +320,6 @@ mod tests {
         let (_, users) = world_pieces(19, 100, 20_000);
         let tooting = users.iter().filter(|u| u.has_tooted()).count() as f64 / 20_000.0;
         assert!((tooting - 239.0 / 853.0).abs() < 0.03, "tooting frac {tooting}");
-    }
-
-    #[test]
-    fn cum_sampler_respects_weights() {
-        let mut rng = StdRng::seed_from_u64(1);
-        let s = CumSampler::new(&[1.0, 0.0, 9.0]);
-        let mut counts = [0u32; 3];
-        for _ in 0..10_000 {
-            counts[s.sample(&mut rng)] += 1;
-        }
-        assert_eq!(counts[1], 0);
-        assert!(counts[2] > 8_000);
-    }
-
-    #[test]
-    #[should_panic(expected = "all-zero")]
-    fn cum_sampler_rejects_zero_weights() {
-        let _ = CumSampler::new(&[0.0, 0.0]);
     }
 
     #[test]
